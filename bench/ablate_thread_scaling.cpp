@@ -1,0 +1,97 @@
+// Ablation C: the non-parameterized method's blow-up in the thread count —
+// the paper's core motivation ("PUG often times out on four threads" for
+// functional checking; GKLEE "exceeds limits at about 2K threads").
+// We sweep n and report encoding size and solving time; the parameterized
+// row at the bottom is n-independent by construction.
+#include "bench_util.h"
+#include "encode/equivalence.h"
+#include "expr/walk.h"
+#include "para/vcgen.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace pugpara;
+using namespace pugpara::bench;
+
+}  // namespace
+
+namespace {
+
+void sweep(const char* label, const char* srcName, const char* tgtName,
+           uint32_t kWidth, bool transpose, bool ssaEquations,
+           const std::vector<uint32_t>& ns) {
+  std::printf("%s (%ub, %s encoding):\n", label, kWidth,
+              ssaEquations ? "SSA-equation" : "substitution");
+  std::printf("%8s %16s %14s %10s\n", "threads", "formula nodes",
+              "encode (s)", "solve");
+
+  for (uint32_t n : ns) {
+    auto prog = lang::parseAndAnalyze(
+        kernels::combinedSource({srcName, tgtName}, kWidth));
+    expr::Context ctx;
+    encode::EncodeOptions eo;
+    eo.width = kWidth;
+    eo.ssaEquations = ssaEquations;
+    encode::GridConfig grid = transpose ? transposeGrid(n) : reductionGrid(n);
+
+    WallTimer enc;
+    auto a = encode::encodeSsa(ctx, *prog->kernels[0], grid, eo, "s");
+    auto b = encode::encodeSsa(ctx, *prog->kernels[1], grid, eo, "t");
+    auto q = encode::buildEquivalenceQuery(ctx, a, b);
+    const double encodeSeconds = enc.seconds();
+
+    expr::Expr whole = ctx.mkAnd(q.assumptions, q.outputsDiffer);
+    const size_t nodes = expr::nodeCount(whole);
+
+    auto solver = smt::makeZ3Solver();
+    solver->setTimeoutMs(timeoutMs());
+    solver->add(whole);
+    WallTimer solve;
+    smt::CheckResult r = solver->check();
+    char solveCell[32];
+    if (r == smt::CheckResult::Unknown)
+      std::snprintf(solveCell, sizeof solveCell, "T.O");
+    else
+      std::snprintf(solveCell, sizeof solveCell, "%.2f%s", solve.seconds(),
+                    r == smt::CheckResult::Sat ? "*" : "");
+    std::printf("%8u %16zu %14.3f %10s\n", n, nodes, encodeSeconds,
+                solveCell);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: non-parameterized scaling in the thread count\n\n");
+  sweep("Transpose equivalence", "transposeNaive", "transposeOpt", 32, true,
+        true, {4, 8, 16, 32, 64, 128});
+  sweep("Reduction equivalence", "reduceMod", "reduceStrided", 16, false,
+        true, {4, 8, 16, 32, 64});
+  sweep("Reduction equivalence", "reduceMod", "reduceStrided", 16, false,
+        false, {4, 8, 16, 32, 64});
+  constexpr uint32_t kWidth = 16;
+
+  // The parameterized encoding for comparison: its size is constant.
+  {
+    auto prog = lang::parseAndAnalyze(
+        kernels::combinedSource({"transposeNaive", "transposeOpt"}, kWidth));
+    expr::Context ctx;
+    encode::EncodeOptions eo;
+    eo.width = kWidth;
+    eo.concretize = {{"bdim.x", 4}, {"bdim.y", 4}, {"bdim.z", 1}};
+    WallTimer enc;
+    auto cfg = para::SymbolicConfig::create(ctx, eo);
+    auto s = para::extractSummary(ctx, *prog->kernels[0], cfg, eo, "s");
+    auto t = para::extractSummary(ctx, *prog->kernels[1], cfg, eo, "t");
+    auto vcs = para::buildEquivalenceVcs(ctx, s, t,
+                                         para::FrameMode::MonotoneQe);
+    const double encodeSeconds = enc.seconds();
+    size_t nodes = 0;
+    for (const auto& vc : vcs.vcs) nodes += expr::nodeCount(vc.formula);
+    std::printf("%8s %16zu %14.3f %10s   <- parameterized (+C), any n\n",
+                "any", nodes, encodeSeconds, "-");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks of the substrates (google-benchmark): expression
+// construction/simplification/substitution throughput, VM execution rate,
+// and end-to-end encoding costs.
+#include <benchmark/benchmark.h>
+
+#include "encode/ssa_encoder.h"
+#include "exec/compiler.h"
+#include "exec/machine.h"
+#include "expr/subst.h"
+#include "expr/walk.h"
+#include "kernels/corpus.h"
+#include "lang/parser.h"
+#include "para/vcgen.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace pugpara;
+
+void BM_ExprBuildChain(benchmark::State& state) {
+  for (auto _ : state) {
+    expr::Context ctx;
+    expr::Expr x = ctx.var("x", expr::Sort::bv(32));
+    expr::Expr acc = ctx.bvVal(0, 32);
+    for (int i = 0; i < state.range(0); ++i)
+      acc = ctx.mkAdd(ctx.mkMul(acc, x), ctx.bvVal(i, 32));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExprBuildChain)->Arg(256)->Arg(4096);
+
+void BM_HashConsingHit(benchmark::State& state) {
+  expr::Context ctx;
+  expr::Expr x = ctx.var("x", expr::Sort::bv(32));
+  expr::Expr y = ctx.var("y", expr::Sort::bv(32));
+  for (auto _ : state) {
+    // Every build after the first is a pure cache hit.
+    benchmark::DoNotOptimize(ctx.mkAdd(ctx.mkMul(x, y), x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashConsingHit);
+
+void BM_Substitution(benchmark::State& state) {
+  expr::Context ctx;
+  expr::Expr x = ctx.var("x", expr::Sort::bv(32));
+  expr::Expr acc = x;
+  for (int i = 0; i < 200; ++i) acc = ctx.mkAdd(ctx.mkMul(acc, x), acc);
+  expr::Expr replacement = ctx.var("z", expr::Sort::bv(32));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expr::substitute(acc, x, replacement));
+}
+BENCHMARK(BM_Substitution);
+
+void BM_VmTranspose(benchmark::State& state) {
+  auto prog = lang::parseAndAnalyze(
+      kernels::sourceFor(kernels::entry("transposeOpt"), 32));
+  auto compiled = exec::compile(*prog->kernels[0]);
+  const uint32_t side = static_cast<uint32_t>(state.range(0));
+  exec::LaunchParams p;
+  p.grid = {side / 4, side / 4, 1};
+  p.block = {4, 4, 1};
+  p.width = 32;
+  p.scalarArgs = {side, side};
+  SplitMix64 rng(1);
+  exec::Buffer in("idata", side * side);
+  for (uint64_t i = 0; i < in.size(); ++i) in.store(i, rng.next());
+  for (auto _ : state) {
+    std::vector<exec::Buffer> bufs = {exec::Buffer("odata", side * side), in};
+    auto r = exec::launch(compiled, p, bufs);
+    if (!r.completed) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(bufs);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_VmTranspose)->Arg(16)->Arg(64);
+
+void BM_SsaEncodeTranspose(benchmark::State& state) {
+  auto prog = lang::parseAndAnalyze(
+      kernels::sourceFor(kernels::entry("transposeOpt"), 16));
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  encode::GridConfig grid{n / 4, 1, 2, 2, 1};
+  for (auto _ : state) {
+    expr::Context ctx;
+    encode::EncodeOptions eo;
+    eo.width = 16;
+    auto enc = encode::encodeSsa(ctx, *prog->kernels[0], grid, eo, "k");
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_SsaEncodeTranspose)->Arg(16)->Arg(64);
+
+void BM_ParamExtractTranspose(benchmark::State& state) {
+  auto prog = lang::parseAndAnalyze(
+      kernels::sourceFor(kernels::entry("transposeOpt"), 16));
+  for (auto _ : state) {
+    expr::Context ctx;
+    encode::EncodeOptions eo;
+    eo.width = 16;
+    auto cfg = para::SymbolicConfig::create(ctx, eo);
+    auto sum = para::extractSummary(ctx, *prog->kernels[0], cfg, eo, "k");
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ParamExtractTranspose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

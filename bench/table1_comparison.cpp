@@ -1,0 +1,162 @@
+// Table I reproduction: the paper's comparison of formal GPU-program
+// checkers by methodology. We implement all three methodology rows inside
+// this repository and demonstrate each live:
+//
+//   * PUGpara        — parameterized symbolic analysis (src/para, src/check)
+//   * GKLEE-style    — fixed-thread symbolic execution: our non-parameterized
+//                      encoder plays this role (concrete grid, symbolic data)
+//   * GRace-style    — dynamic instrumentation: the VM's access monitors
+//                      (concrete grid, concrete data)
+//
+// Each methodology is run against the same bug zoo; the matrix shows which
+// bugs each finds and whether the verdict covers all configurations.
+#include "bench_util.h"
+#include "exec/compiler.h"
+#include "exec/machine.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace pugpara;
+using namespace pugpara::bench;
+
+struct Verdict {
+  bool found = false;
+  bool applicable = true;
+  double seconds = 0;
+};
+
+std::string mark(const Verdict& v) {
+  if (!v.applicable) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s (%.2fs)", v.found ? "yes" : "no",
+                v.seconds);
+  return buf;
+}
+
+Verdict fromReport(const check::Report& r) {
+  return {r.outcome == check::Outcome::BugFound,
+          r.outcome != check::Outcome::Unsupported, r.totalSeconds};
+}
+
+/// Dynamic (GRace-style): one concrete run with monitors; concrete inputs.
+Verdict dynamicRun(const std::string& name, uint32_t width,
+                   bool lookForRace, bool lookForPerf) {
+  const auto& e = kernels::entry(name);
+  auto prog = lang::parseAndAnalyze(kernels::sourceFor(e, width));
+  auto compiled = exec::compile(*prog->kernels[0]);
+  exec::LaunchParams p;
+  p.grid = {e.defaultGrid.gdimX, e.defaultGrid.gdimY, 1};
+  p.block = {e.defaultGrid.bdimX, e.defaultGrid.bdimY, e.defaultGrid.bdimZ};
+  p.width = width;
+  p.monitors.enabled = true;
+  SplitMix64 rng(4);
+  std::vector<exec::Buffer> bufs;
+  for (const auto& param : prog->kernels[0]->params) {
+    if (param->type.isPointer) {
+      exec::Buffer b(param->name, 512);
+      for (size_t i = 0; i < b.size(); ++i) b.store(i, rng.below(8));
+      bufs.push_back(std::move(b));
+    } else {
+      p.scalarArgs.push_back(e.defaultGrid.gdimX * e.defaultGrid.bdimX);
+    }
+  }
+  WallTimer t;
+  auto r = exec::launch(compiled, p, bufs);
+  Verdict v;
+  v.seconds = t.seconds();
+  v.found = (lookForRace && !r.races.empty()) ||
+            (lookForPerf && (!r.bankConflicts.empty() ||
+                             !r.uncoalesced.empty()));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I: comparison of GPU-program checking methodologies\n");
+  std::printf("(all three implemented in this repository and run live)\n\n");
+  std::printf("%-34s %-10s %-12s %-12s\n", "", "PUGpara", "fixed-thread",
+              "dynamic");
+  std::printf("%-34s %-10s %-12s %-12s\n", "Methodology", "symbolic",
+              "symbolic", "instrument.");
+  std::printf("%-34s %-10s %-12s %-12s\n", "Program inputs", "symbolic",
+              "symbolic", "concrete");
+  std::printf("%-34s %-10s %-12s %-12s\n", "Parameterized in #threads?",
+              "yes", "no", "no");
+  std::printf("\nBug detection on the corpus:\n");
+
+  const uint32_t kTo = timeoutMs();
+
+  // Row 1: data race (racyHistogram).
+  {
+    check::VerificationSession s(
+        kernels::combinedSource({"racyHistogram"}, 8));
+    check::CheckOptions para;
+    para.method = check::Method::Parameterized;
+    para.width = 8;
+    para.solverTimeoutMs = kTo;
+    Verdict vPara = fromReport(s.races("racyHistogram", para));
+    // Fixed-thread symbolic race check = the same query on one config.
+    check::CheckOptions fixedOpt = para;
+    fixedOpt.concretize = {{"bdim.x", 8},  {"bdim.y", 1}, {"bdim.z", 1},
+                           {"gdim.x", 1},  {"gdim.y", 1}};
+    Verdict vFixed = fromReport(s.races("racyHistogram", fixedOpt));
+    Verdict vDyn = dynamicRun("racyHistogram", 8, true, false);
+    std::printf("  %-32s %-10s %-12s %-12s\n", "data race (racyHistogram)",
+                mark(vPara).c_str(), mark(vFixed).c_str(),
+                mark(vDyn).c_str());
+  }
+
+  // Row 2: performance bug (transposeNaive, uncoalesced).
+  {
+    check::VerificationSession s(
+        kernels::combinedSource({"transposeNaive"}, 8));
+    check::CheckOptions para;
+    para.method = check::Method::Parameterized;
+    para.width = 8;
+    para.solverTimeoutMs = kTo;
+    Verdict vPara = fromReport(s.performance("transposeNaive", para));
+    check::CheckOptions fixedOpt = para;
+    fixedOpt.concretize = {{"bdim.x", 2}, {"bdim.y", 2}, {"bdim.z", 1},
+                           {"gdim.x", 2}, {"gdim.y", 2}};
+    Verdict vFixed = fromReport(s.performance("transposeNaive", fixedOpt));
+    Verdict vDyn = dynamicRun("transposeNaive", 8, false, true);
+    std::printf("  %-32s %-10s %-12s %-12s\n",
+                "non-coalesced (transposeNaive)", mark(vPara).c_str(),
+                mark(vFixed).c_str(), mark(vDyn).c_str());
+  }
+
+  // Row 3: functional equivalence bug (non-square transpose) — only the
+  // symbolic methods can even pose the question; the dynamic row needs the
+  // lucky configuration AND input.
+  {
+    check::VerificationSession s(kernels::combinedSource(
+        {"transposeNaive", "transposeOptNoSquare"}, 8));
+    check::CheckOptions para;
+    para.method = check::Method::ParameterizedBugHunt;
+    para.width = 8;
+    para.solverTimeoutMs = kTo;
+    Verdict vPara = fromReport(
+        s.equivalence("transposeNaive", "transposeOptNoSquare", para));
+    check::CheckOptions np;
+    np.method = check::Method::NonParameterized;
+    np.width = 8;
+    np.solverTimeoutMs = kTo;
+    np.grid = encode::GridConfig{1, 2, 4, 2, 1};  // happens to be non-square
+    Verdict vFixed = fromReport(
+        s.equivalence("transposeNaive", "transposeOptNoSquare", np));
+    Verdict vDyn;
+    vDyn.applicable = false;  // no oracle without a specification
+    std::printf("  %-32s %-10s %-12s %-12s\n",
+                "equivalence bug (non-square)", mark(vPara).c_str(),
+                mark(vFixed).c_str(), mark(vDyn).c_str());
+  }
+
+  std::printf("\nNote: the fixed-thread column only covers the one launch "
+              "configuration it was\ngiven; the dynamic column additionally "
+              "fixes the inputs. Only the PUGpara\ncolumn quantifies over "
+              "both (the paper's Table I).\n");
+  return 0;
+}

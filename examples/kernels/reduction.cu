@@ -1,0 +1,49 @@
+
+// Interleaved reduction with the slow modulo test (SDK "reduce0").
+void reduceMod(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= 15);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    if ((tid.x % (2 * k)) == 0)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+
+// Interleaved reduction with strided indexing: the modulo is gone but the
+// access pattern causes shared-memory bank conflicts (SDK "reduce1").
+void reduceStrided(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= 15);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    int index = 2 * k * tid.x;
+    if (index < bdim.x)
+      sdata[index] += sdata[index + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+
+// Sequential-addressing reduction (SDK "reduce2"): conflict-free and
+// coalesced; iterates the stride DOWNWARDS, so equivalence against the
+// interleaved versions needs the commutativity argument of Sec. IV-E.
+void reduceSequential(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= 15);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = bdim.x / 2; k > 0; k = k / 2) {
+    if (tid.x < k)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}

@@ -1,0 +1,25 @@
+
+// Elementwise vector addition: the quickstart kernel.
+void vecAdd(int *c, int *a, int *b, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) c[i] = a[i] + b[i];
+  int j;
+  postcond(j >= 0 && j < n => c[j] == a[j] + b[j]);
+}
+
+// saxpy: c = alpha * a + b.
+void saxpy(int *c, int *a, int *b, int alpha, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) c[i] = alpha * a[i] + b[i];
+  int j;
+  postcond(j >= 0 && j < n => c[j] == alpha * a[j] + b[j]);
+}
+
+// Histogram without atomics: two threads hitting the same bin race. A
+// deliberately racy kernel for exercising the race checkers.
+void racyHistogram(int *bins, int *data) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.x == 1 && gdim.y == 1);
+  bins[data[tid.x] % 64] += 1;
+}

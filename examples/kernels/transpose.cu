@@ -1,0 +1,63 @@
+
+// Naive matrix transpose (CUDA SDK 2.0 "transpose_naive"), with the paper's
+// functional-correctness postcondition. Global writes are not coalesced.
+void transposeNaive(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.z == 1);
+  assume(width >= 0 && width <= 15 && height >= 0 && height <= 15);
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = xIndex + width * yIndex;
+    int index_out = yIndex + height * xIndex;
+    odata[index_out] = idata[index_in];
+  }
+  int i, j;
+  postcond(i >= 0 && j >= 0 && i < width && j < height =>
+           odata[i * height + j] == idata[j * width + i]);
+}
+
+// Optimized transpose: coalesced global accesses through a padded shared
+// tile (the +1 avoids bank conflicts). Correct only for square blocks —
+// hence the bdim.x == bdim.y validity assumption.
+void transposeOpt(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.x == bdim.y && bdim.z == 1);
+  assume(width >= 0 && width <= 15 && height >= 0 && height <= 15);
+  __shared__ int block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}
+
+// The optimized transpose WITHOUT the square-block validity assumption:
+// PUGpara reveals the hidden assumption (the paper's '*' configurations).
+void transposeOptNoSquare(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.z == 1);
+  assume(width >= 0 && width <= 15 && height >= 0 && height <= 15);
+  __shared__ int block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}

@@ -1,0 +1,18 @@
+// Equivalence checking of two kernels: the tool's flagship use
+// (debugging memory-coalescing / bank-conflict optimizations).
+#pragma once
+
+#include "check/options.h"
+#include "check/report.h"
+#include "lang/ast.h"
+
+namespace pugpara::check {
+
+/// Checks that `src` and `tgt` produce identical outputs for all inputs —
+/// and, with the parameterized methods, for every launch configuration.
+/// The kernels must have the same parameter shape.
+[[nodiscard]] Report checkEquivalence(const lang::Kernel& src,
+                                      const lang::Kernel& tgt,
+                                      const CheckOptions& options);
+
+}  // namespace pugpara::check

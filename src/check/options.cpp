@@ -1,0 +1,15 @@
+#include "check/options.h"
+
+namespace pugpara::check {
+
+const char* toString(Method m) {
+  switch (m) {
+    case Method::Auto: return "auto";
+    case Method::Parameterized: return "parameterized";
+    case Method::ParameterizedBugHunt: return "parameterized-bughunt";
+    case Method::NonParameterized: return "non-parameterized";
+  }
+  return "?";
+}
+
+}  // namespace pugpara::check

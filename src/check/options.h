@@ -1,0 +1,58 @@
+// User-facing configuration of the checkers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "encode/ssa_encoder.h"
+#include "para/resolve.h"
+#include "smt/solver.h"
+
+namespace pugpara::check {
+
+enum class Method {
+  Auto,              // parameterized when possible, else non-parameterized
+  Parameterized,     // Sec. IV (exact frame handling)
+  ParameterizedBugHunt,  // Sec. IV-D fast bug hunting (under-approximate)
+  NonParameterized,  // Sec. III (requires a concrete grid)
+};
+
+[[nodiscard]] const char* toString(Method m);
+
+struct CheckOptions {
+  Method method = Method::Auto;
+  uint32_t width = 16;  // scalar bit-width (Table II's 8b/16b/32b knob)
+  smt::Backend backend = smt::Backend::Z3;
+  para::FrameMode frameMode = para::FrameMode::MonotoneQe;
+  uint32_t solverTimeoutMs = 300000;  // the paper's 5-minute T.O.
+  uint32_t monoTimeoutMs = 2000;
+
+  /// Concrete grid for the non-parameterized method (and for replay when a
+  /// parameterized counterexample does not determine the configuration).
+  std::optional<encode::GridConfig> grid;
+
+  /// "+C" concretizations: "bdim.x"/"gdim.y"/... and scalar parameter names.
+  std::unordered_map<std::string, uint64_t> concretize;
+
+  /// Non-parameterized encoding style: emit the paper's Sec. III SSA
+  /// equations instead of substituted store chains (see EncodeOptions).
+  bool ssaEquations = false;
+
+  /// Validate counterexamples by concrete replay in the VM (on by default;
+  /// this is what keeps bug-hunt mode's reports real).
+  bool replayCounterexamples = true;
+  /// Replay budget: skip validation when the witness grid is larger.
+  uint64_t maxReplayThreads = 1 << 16;
+
+  [[nodiscard]] encode::EncodeOptions encodeOptions() const {
+    encode::EncodeOptions eo;
+    eo.width = width;
+    eo.concretize = concretize;
+    eo.ssaEquations = ssaEquations;
+    return eo;
+  }
+};
+
+}  // namespace pugpara::check

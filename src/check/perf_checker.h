@@ -1,0 +1,27 @@
+// Parameterized performance-bug detection: shared-memory bank conflicts and
+// non-coalesced global accesses — the two bug classes whose *fixes* (the
+// optimized kernels) PUGpara's equivalence checking validates. The warp
+// model is the paper-era one: 16 banks, half-warps of 16 threads, strict
+// sequential coalescing (compute capability 1.x).
+#pragma once
+
+#include "check/options.h"
+#include "check/report.h"
+#include "lang/ast.h"
+
+namespace pugpara::check {
+
+struct PerfOptions {
+  uint32_t banks = 16;
+  uint32_t halfWarp = 16;
+};
+
+/// Reports a bug when some configuration and input produce a shared-memory
+/// bank conflict or a non-coalesced global access. 1-D thread blocks are
+/// modeled precisely; higher dimensions treat each (tid.y, tid.z) row as a
+/// separate warp slice.
+[[nodiscard]] Report checkPerformance(const lang::Kernel& kernel,
+                                      const CheckOptions& options,
+                                      const PerfOptions& perf = {});
+
+}  // namespace pugpara::check

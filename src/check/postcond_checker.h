@@ -1,0 +1,20 @@
+// Functional-correctness checking against postcond(...) specifications.
+#pragma once
+
+#include "check/options.h"
+#include "check/report.h"
+#include "lang/ast.h"
+
+namespace pugpara::check {
+
+/// Checks every postcondition of `kernel`. Parameterized methods prove the
+/// property for all configurations; the non-parameterized method for the
+/// concrete grid in `options.grid`.
+[[nodiscard]] Report checkPostconditions(const lang::Kernel& kernel,
+                                         const CheckOptions& options);
+
+/// Checks every assert(...) statement (safety obligations per thread).
+[[nodiscard]] Report checkAsserts(const lang::Kernel& kernel,
+                                  const CheckOptions& options);
+
+}  // namespace pugpara::check

@@ -1,0 +1,21 @@
+// Parameterized data-race detection: two symbolic thread instances within
+// one barrier interval, overlapping accesses with at least one write. This
+// is the analysis the paper says "the techniques used in PUG can easily
+// accommodate" with symbolic thread identifiers — and the precondition for
+// the serialization both encoders rely on.
+#pragma once
+
+#include "check/options.h"
+#include "check/report.h"
+#include "lang/ast.h"
+
+namespace pugpara::check {
+
+/// Races that change values (write-write with different values, or
+/// read-write) make the kernel non-deterministic and are reported as bugs;
+/// same-value write-write overlaps are recorded as caveats (benign for the
+/// determinism property the tool targets).
+[[nodiscard]] Report checkRaces(const lang::Kernel& kernel,
+                                const CheckOptions& options);
+
+}  // namespace pugpara::check

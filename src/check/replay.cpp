@@ -1,0 +1,269 @@
+#include "check/replay.h"
+
+#include <sstream>
+
+#include "encode/symbolic_env.h"
+#include "exec/compiler.h"
+#include "exec/machine.h"
+#include "expr/bv_ops.h"
+#include "expr/eval.h"
+#include "support/rng.h"
+
+namespace pugpara::check {
+
+using expr::Expr;
+
+Counterexample extractCounterexample(const smt::Model& model,
+                                     const ReplayInputs& inputs,
+                                     expr::Context& ctx, uint32_t width,
+                                     uint64_t maxCells) {
+  Counterexample cex;
+  cex.bdimX = std::max<uint64_t>(1, model.evalBv(inputs.bdimX));
+  cex.bdimY = std::max<uint64_t>(1, model.evalBv(inputs.bdimY));
+  cex.bdimZ = std::max<uint64_t>(1, model.evalBv(inputs.bdimZ));
+  cex.gdimX = std::max<uint64_t>(1, model.evalBv(inputs.gdimX));
+  cex.gdimY = std::max<uint64_t>(1, model.evalBv(inputs.gdimY));
+  for (Expr s : inputs.scalarInputs) cex.scalarArgs.push_back(model.evalBv(s));
+  for (Expr w : inputs.witnesses) {
+    if (w.sort().isBv()) cex.witnessValues.push_back(model.evalBv(w));
+  }
+  const uint64_t cells =
+      std::min<uint64_t>(maxCells, width >= 63 ? maxCells
+                                               : (uint64_t{1} << width));
+  for (Expr arr : inputs.inputArrays) {
+    std::vector<uint64_t> contents;
+    contents.reserve(cells);
+    for (uint64_t i = 0; i < cells; ++i)
+      contents.push_back(
+          model.evalBv(ctx.mkSelect(arr, ctx.bvVal(i, width))));
+    cex.inputArrays.push_back(std::move(contents));
+  }
+  return cex;
+}
+
+namespace {
+
+struct LaunchPieces {
+  exec::LaunchParams params;
+  std::vector<exec::Buffer> buffers;
+};
+
+/// Builds launch parameters and buffers for `kernel` from the witness.
+/// Buffers get one slot per representable address so no in-range access can
+/// trap (bounded by the cells we materialized).
+LaunchPieces prepare(const lang::Kernel& kernel, const Counterexample& cex,
+                     uint32_t width) {
+  LaunchPieces lp;
+  lp.params.grid = {static_cast<uint32_t>(cex.gdimX),
+                    static_cast<uint32_t>(cex.gdimY), 1};
+  lp.params.block = {static_cast<uint32_t>(cex.bdimX),
+                     static_cast<uint32_t>(cex.bdimY),
+                     static_cast<uint32_t>(cex.bdimZ)};
+  lp.params.width = width;
+  size_t scalarIdx = 0, arrayIdx = 0;
+  for (const auto& p : kernel.params) {
+    if (p->type.isPointer) {
+      const auto& contents = arrayIdx < cex.inputArrays.size()
+                                 ? cex.inputArrays[arrayIdx]
+                                 : std::vector<uint64_t>{};
+      ++arrayIdx;
+      exec::Buffer buf(p->name, std::max<size_t>(contents.size(), 1));
+      for (size_t i = 0; i < contents.size(); ++i)
+        buf.store(i, contents[i]);
+      lp.buffers.push_back(std::move(buf));
+    } else {
+      lp.params.scalarArgs.push_back(
+          scalarIdx < cex.scalarArgs.size() ? cex.scalarArgs[scalarIdx] : 0);
+      ++scalarIdx;
+    }
+  }
+  return lp;
+}
+
+uint64_t totalThreads(const Counterexample& cex) {
+  return cex.bdimX * cex.bdimY * cex.bdimZ * cex.gdimX * cex.gdimY;
+}
+
+}  // namespace
+
+bool replayEquivalence(const lang::Kernel& a, const lang::Kernel& b,
+                       Counterexample& cex, uint32_t width,
+                       uint64_t maxThreads) {
+  cex.replayed = true;
+  cex.replayConfirmed = false;
+  if (totalThreads(cex) > maxThreads) {
+    cex.replayed = false;
+    cex.replayDetail = "witness grid too large for replay (" +
+                       std::to_string(totalThreads(cex)) + " threads)";
+    return false;
+  }
+  try {
+    auto ca = exec::compile(a);
+    auto cb = exec::compile(b);
+
+    // One attempt with the model's inputs, then a few with random refills:
+    // a genuinely inequivalent pair disagrees on almost any input, while the
+    // model's array completion is often all-zeros and can mask the bug.
+    for (uint64_t attempt = 0; attempt < 4; ++attempt) {
+      Counterexample trial = cex;
+      if (attempt > 0) {
+        SplitMix64 rng(0xC0FFEE + attempt);
+        for (auto& arr : trial.inputArrays)
+          for (auto& v : arr) v = expr::maskToWidth(rng.next(), width);
+      }
+      LaunchPieces la = prepare(a, trial, width);
+      LaunchPieces lb = prepare(b, trial, width);
+      auto ra = exec::launch(ca, la.params, la.buffers);
+      auto rb = exec::launch(cb, lb.params, lb.buffers);
+      if (ra.completed != rb.completed) {
+        // One kernel crashes (e.g. out-of-bounds shared access) where the
+        // other runs: a confirmed behavioral difference.
+        cex.replayDetail = "one kernel faults under this configuration: " +
+                           (ra.completed ? rb.error : ra.error);
+        cex.replayConfirmed = true;
+        return true;
+      }
+      if (!ra.completed) {
+        cex.replayDetail = "both kernels fault in replay: " + ra.error;
+        return false;
+      }
+      for (size_t i = 0; i < la.buffers.size(); ++i) {
+        const auto& xa = la.buffers[i].raw();
+        const auto& xb = lb.buffers[i].raw();
+        for (size_t j = 0; j < std::min(xa.size(), xb.size()); ++j) {
+          if (xa[j] != xb[j]) {
+            std::ostringstream os;
+            os << "outputs differ at " << la.buffers[i].name() << "[" << j
+               << "]: " << xa[j] << " vs " << xb[j]
+               << (attempt ? " (randomized inputs)" : "");
+            cex.replayDetail = os.str();
+            cex.replayConfirmed = true;
+            return true;
+          }
+        }
+      }
+    }
+    cex.replayDetail = "replay executed both kernels; outputs agree "
+                       "(spurious candidate)";
+    return false;
+  } catch (const PugError& e) {
+    cex.replayDetail = std::string("replay error: ") + e.what();
+    return false;
+  }
+}
+
+bool replayPostcondition(const lang::Kernel& kernel, Counterexample& cex,
+                         uint32_t width, uint64_t maxThreads) {
+  cex.replayed = true;
+  cex.replayConfirmed = false;
+  if (totalThreads(cex) > maxThreads) {
+    cex.replayed = false;
+    cex.replayDetail = "witness grid too large for replay";
+    return false;
+  }
+  try {
+    auto ck = exec::compile(kernel);
+    LaunchPieces lp = prepare(kernel, cex, width);
+    auto r = exec::launch(ck, lp.params, lp.buffers);
+    if (!r.completed) {
+      cex.replayDetail = "replay failed: " + r.error;
+      return false;
+    }
+
+    // Evaluate the postconditions concretely: build expressions over the
+    // final buffers and the witness spec values, then fold them.
+    expr::Context ctx;
+    encode::EncodeOptions eo;
+    eo.width = width;
+    expr::Env env;
+    std::unordered_map<const lang::VarDecl*, Expr> arrays;
+    size_t bufIdx = 0, sclIdx = 0;
+    std::unordered_map<const lang::VarDecl*, Expr> scalars;
+    for (const auto& p : kernel.params) {
+      if (p->type.isPointer) {
+        Expr v = ctx.var("arr" + std::to_string(bufIdx),
+                         expr::Sort::array(width, width));
+        expr::ArrayValue av;
+        for (size_t i = 0; i < lp.buffers[bufIdx].size(); ++i)
+          av.set(i, lp.buffers[bufIdx].raw()[i]);
+        env.bind(v, expr::Value::ofArray(std::move(av)));
+        arrays[p.get()] = v;
+        ++bufIdx;
+      } else {
+        scalars[p.get()] = ctx.bvVal(
+            sclIdx < lp.params.scalarArgs.size()
+                ? lp.params.scalarArgs[sclIdx]
+                : 0,
+            width);
+        ++sclIdx;
+      }
+    }
+
+    std::unordered_map<const lang::VarDecl*, Expr> specEnv;
+    size_t nextWitness = 0;
+    encode::EnvCallbacks cbs;
+    cbs.builtin = [&](lang::BuiltinVar b) {
+      switch (b) {
+        case lang::BuiltinVar::BdimX: return ctx.bvVal(cex.bdimX, width);
+        case lang::BuiltinVar::BdimY: return ctx.bvVal(cex.bdimY, width);
+        case lang::BuiltinVar::BdimZ: return ctx.bvVal(cex.bdimZ, width);
+        case lang::BuiltinVar::GdimX: return ctx.bvVal(cex.gdimX, width);
+        case lang::BuiltinVar::GdimY: return ctx.bvVal(cex.gdimY, width);
+        default:
+          throw PugError("postcondition mentions tid/bid");
+      }
+    };
+    cbs.readVar = [&](const lang::VarDecl* d) {
+      if (auto it = scalars.find(d); it != scalars.end()) return it->second;
+      if (auto it = specEnv.find(d); it != specEnv.end()) return it->second;
+      const uint64_t v = nextWitness < cex.witnessValues.size()
+                             ? cex.witnessValues[nextWitness++]
+                             : 0;
+      Expr c = ctx.bvVal(v, width);
+      specEnv[d] = c;
+      return c;
+    };
+    cbs.readArray = [&](const lang::VarDecl* d, Expr idx) {
+      return ctx.mkSelect(arrays.at(d), idx);
+    };
+    encode::Translator tr(ctx, eo, std::move(cbs));
+
+    std::function<bool(const lang::Stmt&)> scan =
+        [&](const lang::Stmt& s) -> bool {
+      switch (s.kind) {
+        case lang::Stmt::Kind::Postcond: {
+          Expr f = tr.toBool(*s.cond);
+          if (!expr::evalBool(f, env)) {
+            cex.replayDetail = "postcondition at " + s.loc.str() +
+                               " concretely violated";
+            return true;
+          }
+          return false;
+        }
+        case lang::Stmt::Kind::If:
+          return scan(*s.thenStmt) || (s.elseStmt && scan(*s.elseStmt));
+        case lang::Stmt::Kind::For:
+        case lang::Stmt::Kind::While:
+          return scan(*s.body);
+        case lang::Stmt::Kind::Block:
+          for (const auto& st : s.stmts)
+            if (scan(*st)) return true;
+          return false;
+        default:
+          return false;
+      }
+    };
+    if (scan(*kernel.body)) {
+      cex.replayConfirmed = true;
+      return true;
+    }
+    cex.replayDetail = "replay executed the kernel; all postconditions hold "
+                       "(spurious candidate)";
+    return false;
+  } catch (const PugError& e) {
+    cex.replayDetail = std::string("replay error: ") + e.what();
+    return false;
+  }
+}
+
+}  // namespace pugpara::check

@@ -1,0 +1,45 @@
+// Counterexample replay: a SAT model is materialized into a concrete launch
+// (dims, scalar arguments, input buffers) and executed on the VM. For
+// equivalence, the two kernels' outputs must actually differ; for
+// postconditions, the condition must actually fail. This preserves the
+// paper's guarantee that reported bugs are real even in bug-hunt mode.
+#pragma once
+
+#include "check/options.h"
+#include "check/report.h"
+#include "lang/ast.h"
+#include "para/thread_dim.h"
+#include "smt/solver.h"
+
+namespace pugpara::check {
+
+/// What the model must be projected on.
+struct ReplayInputs {
+  expr::Expr bdimX, bdimY, bdimZ, gdimX, gdimY;  // config (vars or consts)
+  std::vector<expr::Expr> scalarInputs;
+  std::vector<expr::Expr> inputArrays;
+  std::vector<expr::Expr> witnesses;
+};
+
+/// Projects the model onto a Counterexample. Array contents are
+/// materialized up to `maxCells` cells per array.
+[[nodiscard]] Counterexample extractCounterexample(const smt::Model& model,
+                                                   const ReplayInputs& inputs,
+                                                   expr::Context& ctx,
+                                                   uint32_t width,
+                                                   uint64_t maxCells);
+
+/// Replays an equivalence counterexample: runs both kernels on the witness
+/// inputs; sets cex.replayed/replayConfirmed/replayDetail. Returns
+/// replayConfirmed.
+bool replayEquivalence(const lang::Kernel& a, const lang::Kernel& b,
+                       Counterexample& cex, uint32_t width,
+                       uint64_t maxThreads);
+
+/// Replays a postcondition counterexample: runs the kernel, then evaluates
+/// every postcondition concretely (spec variables come from the witness
+/// values, in the order the VC reported them).
+bool replayPostcondition(const lang::Kernel& kernel, Counterexample& cex,
+                         uint32_t width, uint64_t maxThreads);
+
+}  // namespace pugpara::check

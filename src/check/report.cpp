@@ -1,0 +1,51 @@
+#include "check/report.h"
+
+#include <sstream>
+
+#include "check/options.h"
+
+namespace pugpara::check {
+
+const char* toString(Outcome o) {
+  switch (o) {
+    case Outcome::Verified: return "verified";
+    case Outcome::BugFound: return "bug-found";
+    case Outcome::NoBugFound: return "no-bug-found";
+    case Outcome::Unknown: return "unknown";
+    case Outcome::Unsupported: return "unsupported";
+  }
+  return "?";
+}
+
+std::string Counterexample::str() const {
+  std::ostringstream os;
+  os << "grid(" << gdimX << "x" << gdimY << ") block(" << bdimX << "x"
+     << bdimY << "x" << bdimZ << ")";
+  if (!scalarArgs.empty()) {
+    os << " args(";
+    for (size_t i = 0; i < scalarArgs.size(); ++i)
+      os << (i ? ", " : "") << scalarArgs[i];
+    os << ")";
+  }
+  if (!witnessValues.empty()) {
+    os << " witness(";
+    for (size_t i = 0; i < witnessValues.size(); ++i)
+      os << (i ? ", " : "") << witnessValues[i];
+    os << ")";
+  }
+  if (replayed)
+    os << (replayConfirmed ? " [replay: CONFIRMED]" : " [replay: rejected]");
+  return os.str();
+}
+
+std::string Report::str() const {
+  std::ostringstream os;
+  os << toString(outcome) << " (" << method << ", " << solveSeconds
+     << "s solve)";
+  if (!detail.empty()) os << ": " << detail;
+  for (const auto& c : caveats) os << "\n  caveat: " << c;
+  for (const auto& cx : counterexamples) os << "\n  cex: " << cx.str();
+  return os.str();
+}
+
+}  // namespace pugpara::check

@@ -1,0 +1,50 @@
+// Check outcomes and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "para/resolve.h"
+
+namespace pugpara::check {
+
+enum class Outcome {
+  Verified,     // property proven (for the method's scope)
+  BugFound,     // counterexample found (replay-confirmed when enabled)
+  NoBugFound,   // under-approximate search found nothing (bug-hunt mode)
+  Unknown,      // solver gave up / timed out
+  Unsupported,  // kernel shape outside the method's fragment
+};
+
+[[nodiscard]] const char* toString(Outcome o);
+
+/// A concrete disagreement witness extracted from a SAT model.
+struct Counterexample {
+  uint64_t bdimX = 1, bdimY = 1, bdimZ = 1, gdimX = 1, gdimY = 1;
+  std::vector<uint64_t> scalarArgs;
+  /// Input array contents (only cells the replay materializes).
+  std::vector<std::vector<uint64_t>> inputArrays;
+  std::vector<uint64_t> witnessValues;  // VC witness vars (indices, k, ...)
+  bool replayed = false;
+  bool replayConfirmed = false;
+  std::string replayDetail;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct Report {
+  Outcome outcome = Outcome::Unknown;
+  std::string method;      // which encoding ran ("parameterized", ...)
+  std::string detail;      // free-form explanation
+  double solveSeconds = 0;
+  double totalSeconds = 0;
+  std::vector<std::string> caveats;
+  para::ResolveStats stats;
+  std::vector<Counterexample> counterexamples;
+
+  [[nodiscard]] bool ok() const { return outcome == Outcome::Verified; }
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace pugpara::check

@@ -1,0 +1,62 @@
+// VerificationSession: the library's convenience facade. Owns the parsed
+// program and dispatches to the checkers by kernel name. This is the API
+// the examples, benches and most downstream users go through.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "check/equiv_checker.h"
+#include "check/perf_checker.h"
+#include "check/postcond_checker.h"
+#include "check/race_checker.h"
+#include "lang/parser.h"
+
+namespace pugpara::check {
+
+class VerificationSession {
+ public:
+  /// Parses and analyzes a translation unit (one or more kernels).
+  /// Throws PugError with diagnostics on front-end errors.
+  explicit VerificationSession(std::string_view source)
+      : program_(lang::parseAndAnalyze(source)) {}
+
+  /// Takes ownership of an externally built program (e.g. mutated kernels).
+  explicit VerificationSession(std::unique_ptr<lang::Program> program)
+      : program_(std::move(program)) {}
+
+  [[nodiscard]] const lang::Kernel& kernel(const std::string& name) const {
+    const lang::Kernel* k = program_->findKernel(name);
+    require(k != nullptr, "no kernel named '" + name + "'");
+    return *k;
+  }
+  [[nodiscard]] const lang::Program& program() const { return *program_; }
+
+  [[nodiscard]] Report equivalence(const std::string& source,
+                                   const std::string& target,
+                                   const CheckOptions& options = {}) const {
+    return checkEquivalence(kernel(source), kernel(target), options);
+  }
+  [[nodiscard]] Report postconditions(const std::string& name,
+                                      const CheckOptions& options = {}) const {
+    return checkPostconditions(kernel(name), options);
+  }
+  [[nodiscard]] Report asserts(const std::string& name,
+                               const CheckOptions& options = {}) const {
+    return checkAsserts(kernel(name), options);
+  }
+  [[nodiscard]] Report races(const std::string& name,
+                             const CheckOptions& options = {}) const {
+    return checkRaces(kernel(name), options);
+  }
+  [[nodiscard]] Report performance(const std::string& name,
+                                   const CheckOptions& options = {},
+                                   const PerfOptions& perf = {}) const {
+    return checkPerformance(kernel(name), options, perf);
+  }
+
+ private:
+  std::unique_ptr<lang::Program> program_;
+};
+
+}  // namespace pugpara::check

@@ -1,0 +1,37 @@
+#include "encode/equivalence.h"
+
+#include "support/diagnostics.h"
+
+namespace pugpara::encode {
+
+using expr::Expr;
+
+EquivalenceQuery buildEquivalenceQuery(expr::Context& ctx,
+                                       const EncodedKernel& src,
+                                       const EncodedKernel& tgt) {
+  require(src.width == tgt.width,
+          "equivalence: kernels encoded at different bit-widths");
+  require(src.arrayParams.size() == tgt.arrayParams.size() &&
+              src.scalarParams.size() == tgt.scalarParams.size(),
+          "equivalence: kernels have different parameter shapes");
+  for (size_t i = 0; i < src.inputArrays.size(); ++i)
+    require(src.inputArrays[i] == tgt.inputArrays[i],
+            "equivalence: kernels do not share input arrays (encode them in "
+            "one Context)");
+
+  EquivalenceQuery q;
+  q.assumptions = ctx.mkAnd(src.assumptions, tgt.assumptions);
+  q.outputsDiffer = ctx.bot();
+  for (size_t i = 0; i < src.finalArrays.size(); ++i) {
+    Expr idx = ctx.freshVar("eq_idx" + std::to_string(i),
+                            expr::Sort::bv(src.width));
+    q.indexVars.push_back(idx);
+    q.outputs.emplace_back(src.finalArrays[i], tgt.finalArrays[i]);
+    Expr differ = ctx.mkNe(ctx.mkSelect(src.finalArrays[i], idx),
+                           ctx.mkSelect(tgt.finalArrays[i], idx));
+    q.outputsDiffer = ctx.mkOr(q.outputsDiffer, differ);
+  }
+  return q;
+}
+
+}  // namespace pugpara::encode

@@ -1,0 +1,28 @@
+// Builds the equivalence query of Sec. III: two kernels encoded over the
+// same inputs are equivalent iff no output array can differ at any index.
+// The query is the *negation* — assumptions ∧ (∃ index: outputs differ) —
+// so Unsat means equivalent and a model is a concrete disagreement witness.
+#pragma once
+
+#include "encode/ssa_encoder.h"
+
+namespace pugpara::encode {
+
+struct EquivalenceQuery {
+  expr::Expr assumptions;    // both kernels' assumptions, conjoined
+  expr::Expr outputsDiffer;  // ∨ over outputs: source[i_k] != target[i_k]
+  /// One fresh index variable per compared output array (free in
+  /// outputsDiffer; a model assigns the witness index).
+  std::vector<expr::Expr> indexVars;
+  /// The compared output pairs (source final, target final), for reporting.
+  std::vector<std::pair<expr::Expr, expr::Expr>> outputs;
+};
+
+/// Both kernels must have been encoded in the same Context with matching
+/// parameter shapes (same pointer/scalar positions), which makes them share
+/// input variables by construction.
+[[nodiscard]] EquivalenceQuery buildEquivalenceQuery(expr::Context& ctx,
+                                                     const EncodedKernel& src,
+                                                     const EncodedKernel& tgt);
+
+}  // namespace pugpara::encode

@@ -1,0 +1,670 @@
+#include "encode/ssa_encoder.h"
+
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/bv_ops.h"
+#include "lang/sema.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::encode {
+
+namespace {
+
+using expr::Expr;
+using lang::BuiltinVar;
+using lang::MemSpace;
+using lang::Stmt;
+using lang::VarDecl;
+
+std::string locSuffix(SourceLoc loc) {
+  return "@" + std::to_string(loc.line) + "_" + std::to_string(loc.col);
+}
+
+bool containsBarrier(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Barrier: return true;
+    case Stmt::Kind::If:
+      return containsBarrier(*s.thenStmt) ||
+             (s.elseStmt && containsBarrier(*s.elseStmt));
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+      return containsBarrier(*s.body);
+    case Stmt::Kind::Block:
+      for (const auto& st : s.stmts)
+        if (containsBarrier(*st)) return true;
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool assignsTo(const Stmt& s, const VarDecl* d) {
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      return s.lhs->kind == lang::Expr::Kind::VarRef && s.lhs->decl == d;
+    case Stmt::Kind::If:
+      return assignsTo(*s.thenStmt, d) ||
+             (s.elseStmt && assignsTo(*s.elseStmt, d));
+    case Stmt::Kind::For:
+      return assignsTo(*s.body, d) || (s.step && assignsTo(*s.step, d)) ||
+             (s.init && assignsTo(*s.init, d));
+    case Stmt::Kind::While:
+      return assignsTo(*s.body, d);
+    case Stmt::Kind::Block:
+      for (const auto& st : s.stmts)
+        if (assignsTo(*st, d)) return true;
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// One element of a flattened barrier interval: either an original statement
+/// or a launch-uniform binding produced by Pass A's loop unrolling.
+struct BiItem {
+  const Stmt* stmt = nullptr;
+  const VarDecl* bind = nullptr;
+  uint64_t bindValue = 0;
+};
+
+using BarrierInterval = std::vector<BiItem>;
+
+// ---- Pass A: split into barrier intervals, unrolling barrier-loops ----------
+
+class BarrierFlattener {
+ public:
+  BarrierFlattener(const lang::Kernel& kernel, const GridConfig& grid,
+                   const EncodeOptions& opt)
+      : kernel_(kernel), grid_(grid), opt_(opt) {}
+
+  std::vector<BarrierInterval> run() {
+    bis_.emplace_back();
+    walk(*kernel_.body);
+    return std::move(bis_);
+  }
+
+ private:
+  void emit(BiItem item) { bis_.back().push_back(item); }
+
+  [[nodiscard]] std::optional<uint64_t> tryEval(const lang::Expr& e) const {
+    using K = lang::Expr::Kind;
+    const uint32_t w = opt_.width;
+    switch (e.kind) {
+      case K::IntLit: return expr::maskToWidth(e.intValue, w);
+      case K::BoolLit: return e.boolValue ? 1 : 0;
+      case K::Builtin:
+        switch (e.builtin) {
+          case BuiltinVar::BdimX: return grid_.bdimX;
+          case BuiltinVar::BdimY: return grid_.bdimY;
+          case BuiltinVar::BdimZ: return grid_.bdimZ;
+          case BuiltinVar::GdimX: return grid_.gdimX;
+          case BuiltinVar::GdimY: return grid_.gdimY;
+          default: return std::nullopt;  // tid/bid are not uniform
+        }
+      case K::VarRef: {
+        if (auto it = uniform_.find(e.decl); it != uniform_.end())
+          return it->second;
+        if (e.decl != nullptr && e.decl->space == MemSpace::Param) {
+          if (auto c = opt_.concretize.find(e.decl->name);
+              c != opt_.concretize.end())
+            return expr::maskToWidth(c->second, w);
+        }
+        return std::nullopt;
+      }
+      case K::Unary: {
+        auto a = tryEval(*e.args[0]);
+        if (!a) return std::nullopt;
+        switch (e.unop) {
+          case lang::UnOp::Neg: return expr::maskToWidth(~*a + 1, w);
+          case lang::UnOp::LNot: return *a == 0 ? 1 : 0;
+          case lang::UnOp::BitNot: return expr::maskToWidth(~*a, w);
+        }
+        return std::nullopt;
+      }
+      case K::Binary: {
+        if (e.binop == lang::BinOp::LAnd) {
+          auto a = tryEval(*e.args[0]);
+          if (a && *a == 0) return 0;
+          auto b = tryEval(*e.args[1]);
+          if (!a || !b) return std::nullopt;
+          return (*a != 0 && *b != 0) ? 1 : 0;
+        }
+        if (e.binop == lang::BinOp::LOr) {
+          auto a = tryEval(*e.args[0]);
+          if (a && *a != 0) return 1;
+          auto b = tryEval(*e.args[1]);
+          if (!a || !b) return std::nullopt;
+          return (*a != 0 || *b != 0) ? 1 : 0;
+        }
+        auto a = tryEval(*e.args[0]);
+        auto b = tryEval(*e.args[1]);
+        if (!a || !b) return std::nullopt;
+        return foldBinary(e, *a, *b);
+      }
+      case K::Ternary: {
+        auto c = tryEval(*e.args[0]);
+        if (!c) return std::nullopt;
+        return tryEval(*c != 0 ? *e.args[1] : *e.args[2]);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::optional<uint64_t> foldBinary(const lang::Expr& e,
+                                                   uint64_t a,
+                                                   uint64_t b) const {
+    using expr::Kind;
+    const uint32_t w = opt_.width;
+    const bool uns = lang::exprIsUnsigned(*e.args[0]) ||
+                     lang::exprIsUnsigned(*e.args[1]);
+    switch (e.binop) {
+      case lang::BinOp::Add: return expr::foldBvBin(Kind::BvAdd, a, b, w);
+      case lang::BinOp::Sub: return expr::foldBvBin(Kind::BvSub, a, b, w);
+      case lang::BinOp::Mul: return expr::foldBvBin(Kind::BvMul, a, b, w);
+      case lang::BinOp::Div:
+        return expr::foldBvBin(uns ? Kind::BvUDiv : Kind::BvSDiv, a, b, w);
+      case lang::BinOp::Rem:
+        return expr::foldBvBin(uns ? Kind::BvURem : Kind::BvSRem, a, b, w);
+      case lang::BinOp::BitAnd: return a & b;
+      case lang::BinOp::BitOr: return a | b;
+      case lang::BinOp::BitXor: return a ^ b;
+      case lang::BinOp::Shl: return expr::foldBvBin(Kind::BvShl, a, b, w);
+      case lang::BinOp::Shr:
+        return expr::foldBvBin(uns ? Kind::BvLShr : Kind::BvAShr, a, b, w);
+      case lang::BinOp::Eq: return a == b ? 1 : 0;
+      case lang::BinOp::Ne: return a != b ? 1 : 0;
+      case lang::BinOp::Lt:
+        return expr::foldBvCmp(uns ? Kind::BvUlt : Kind::BvSlt, a, b, w);
+      case lang::BinOp::Le:
+        return expr::foldBvCmp(uns ? Kind::BvUle : Kind::BvSle, a, b, w);
+      case lang::BinOp::Gt:
+        return expr::foldBvCmp(uns ? Kind::BvUlt : Kind::BvSlt, b, a, w);
+      case lang::BinOp::Ge:
+        return expr::foldBvCmp(uns ? Kind::BvUle : Kind::BvSle, b, a, w);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] uint64_t evalOrFail(const lang::Expr& e, const char* what) {
+    auto v = tryEval(e);
+    if (!v)
+      throw PugError(std::string(what) +
+                     " in a barrier-carrying loop must be launch-uniform and "
+                     "concrete; concretize the inputs it reads (+C)");
+    return *v;
+  }
+
+  void walk(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Barrier:
+        bis_.emplace_back();
+        return;
+      case Stmt::Kind::Block:
+        for (const auto& st : s.stmts) walk(*st);
+        return;
+      case Stmt::Kind::If:
+        if (!containsBarrier(s)) {
+          emit({&s, nullptr, 0});
+          return;
+        }
+        if (evalOrFail(*s.cond, "an if condition") != 0) {
+          walk(*s.thenStmt);
+        } else if (s.elseStmt) {
+          walk(*s.elseStmt);
+        }
+        return;
+      case Stmt::Kind::For: {
+        if (!containsBarrier(s)) {
+          emit({&s, nullptr, 0});
+          return;
+        }
+        unrollFor(s);
+        return;
+      }
+      case Stmt::Kind::While:
+        if (!containsBarrier(s)) {
+          emit({&s, nullptr, 0});
+          return;
+        }
+        throw PugError("barriers inside while loops are not supported; "
+                       "rewrite as a for loop with a uniform counter");
+      default:
+        emit({&s, nullptr, 0});
+        return;
+    }
+  }
+
+  void unrollFor(const Stmt& s) {
+    // Identify the loop counter and its initial value.
+    const VarDecl* counter = nullptr;
+    if (s.init != nullptr) {
+      if (s.init->kind == Stmt::Kind::Decl) {
+        counter = s.init->decl.get();
+        require(counter->init != nullptr,
+                "barrier-carrying for loop needs an initialized counter");
+        uniform_[counter] = evalOrFail(*counter->init, "a loop bound");
+        emit({s.init.get(), nullptr, 0});  // declare it for Pass B
+        emit({nullptr, counter, uniform_[counter]});
+      } else if (s.init->kind == Stmt::Kind::Assign &&
+                 s.init->lhs->kind == lang::Expr::Kind::VarRef) {
+        counter = s.init->lhs->decl;
+        uniform_[counter] = evalOrFail(*s.init->rhs, "a loop bound");
+        emit({nullptr, counter, uniform_[counter]});
+      } else {
+        throw PugError("unsupported barrier-carrying for-loop initializer");
+      }
+    }
+    require(counter != nullptr,
+            "barrier-carrying for loop needs a counter variable");
+    require(!assignsTo(*s.body, counter),
+            "barrier-carrying loop must not modify its counter in the body");
+    require(s.cond != nullptr && s.step != nullptr,
+            "barrier-carrying for loop needs a condition and a step");
+    require(s.step->kind == Stmt::Kind::Assign &&
+                s.step->lhs->kind == lang::Expr::Kind::VarRef &&
+                s.step->lhs->decl == counter,
+            "barrier-carrying for loop must step its own counter");
+
+    for (uint32_t iter = 0;; ++iter) {
+      if (iter > opt_.maxUnroll)
+        throw PugError("loop unrolling exceeded the configured bound");
+      if (evalOrFail(*s.cond, "a loop condition") == 0) break;
+      walk(*s.body);
+      // Apply the step uniformly and re-bind for the next iteration.
+      uint64_t rhs = evalOrFail(*s.step->rhs, "a loop step");
+      uint64_t next = rhs;
+      if (s.step->isCompound) {
+        lang::Expr synth;  // only used to query signedness of the operands
+        synth.kind = lang::Expr::Kind::Binary;
+        synth.binop = s.step->compoundOp;
+        synth.args.push_back(s.step->lhs->clone());
+        synth.args.push_back(s.step->rhs->clone());
+        auto folded = foldBinary(synth, uniform_[counter], rhs);
+        require(folded.has_value(), "unsupported loop step operator");
+        next = *folded;
+      }
+      uniform_[counter] = next;
+      emit({nullptr, counter, next});
+    }
+    uniform_.erase(counter);
+  }
+
+  const lang::Kernel& kernel_;
+  const GridConfig& grid_;
+  const EncodeOptions& opt_;
+  std::vector<BarrierInterval> bis_;
+  std::unordered_map<const VarDecl*, uint64_t> uniform_;
+};
+
+// ---- Pass B: natural-order symbolic execution over the intervals -----------
+
+struct ThreadState {
+  uint32_t tx = 0, ty = 0, tz = 0;
+  std::unordered_map<const VarDecl*, Expr> privates;
+  Expr active;  // false once the thread returned
+};
+
+class SsaEncoder {
+ public:
+  SsaEncoder(expr::Context& ctx, const lang::Kernel& kernel,
+             const GridConfig& grid, const EncodeOptions& opt,
+             std::string prefix)
+      : ctx_(ctx), kernel_(kernel), grid_(grid), opt_(opt),
+        prefix_(std::move(prefix)) {}
+
+  EncodedKernel run() {
+    out_.width = opt_.width;
+    out_.assumptions = ctx_.top();
+    setupParams();
+
+    const auto bis = BarrierFlattener(kernel_, grid_, opt_).run();
+
+    for (uint32_t by = 0; by < grid_.gdimY; ++by)
+      for (uint32_t bx = 0; bx < grid_.gdimX; ++bx) runBlock(bx, by, bis);
+
+    for (const VarDecl* p : out_.arrayParams)
+      out_.finalArrays.push_back(arrays_.at(p));
+
+    collectPostconds(*kernel_.body);
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] Expr bv(uint64_t v) const {
+    return ctx_.bvVal(v, opt_.width);
+  }
+  [[nodiscard]] expr::Sort arraySort() const {
+    return expr::Sort::array(opt_.width, opt_.width);
+  }
+
+  void setupParams() {
+    size_t arrPos = 0, sclPos = 0;
+    for (const auto& p : kernel_.params) {
+      if (p->type.isPointer) {
+        Expr a = ctx_.var("pp_arr" + std::to_string(arrPos++), arraySort());
+        out_.arrayParams.push_back(p.get());
+        out_.inputArrays.push_back(a);
+        arrays_[p.get()] = a;
+      } else {
+        Expr v;
+        if (auto c = opt_.concretize.find(p->name);
+            c != opt_.concretize.end()) {
+          v = bv(c->second);
+        } else {
+          v = ctx_.var("pp_scl" + std::to_string(sclPos), bvSortName());
+        }
+        ++sclPos;
+        out_.scalarParams.push_back(p.get());
+        out_.scalarInputs.push_back(v);
+        paramValue_[p.get()] = v;
+      }
+    }
+  }
+
+  [[nodiscard]] expr::Sort bvSortName() const {
+    return expr::Sort::bv(opt_.width);
+  }
+
+  void runBlock(uint32_t bx, uint32_t by,
+                const std::vector<BarrierInterval>& bis) {
+    bx_ = bx;
+    by_ = by;
+    // Fresh per-block instances of the shared arrays, arbitrary initial
+    // contents (reading them before writing is unconstrained, as on a GPU).
+    for (const VarDecl* sd : kernel_.sharedDecls)
+      arrays_[sd] = ctx_.freshVar(
+          prefix_ + "_" + sd->name + "_b" + std::to_string(by * grid_.gdimX + bx),
+          arraySort());
+
+    // Per-thread persistent private state across the block's intervals.
+    threads_.clear();
+    for (uint32_t tz = 0; tz < grid_.bdimZ; ++tz)
+      for (uint32_t ty = 0; ty < grid_.bdimY; ++ty)
+        for (uint32_t tx = 0; tx < grid_.bdimX; ++tx) {
+          ThreadState t;
+          t.tx = tx;
+          t.ty = ty;
+          t.tz = tz;
+          t.active = ctx_.top();
+          threads_.push_back(std::move(t));
+        }
+
+    for (const BarrierInterval& bi : bis)
+      for (ThreadState& t : threads_) runInterval(t, bi);
+  }
+
+  void runInterval(ThreadState& t, const BarrierInterval& bi) {
+    cur_ = &t;
+    for (const BiItem& item : bi) {
+      if (item.bind != nullptr) {
+        t.privates[item.bind] = bv(item.bindValue);
+        continue;
+      }
+      exec(*item.stmt, ctx_.top());
+    }
+  }
+
+  [[nodiscard]] Translator makeTranslator() {
+    EnvCallbacks cbs;
+    cbs.builtin = [this](BuiltinVar b) { return builtinValue(b); };
+    cbs.readVar = [this](const VarDecl* d) { return readVar(d); };
+    cbs.readArray = [this](const VarDecl* d, Expr idx) {
+      return ctx_.mkSelect(arrays_.at(d), idx);
+    };
+    return Translator(ctx_, opt_, std::move(cbs));
+  }
+
+  Expr builtinValue(BuiltinVar b) {
+    switch (b) {
+      case BuiltinVar::TidX: return bv(cur_->tx);
+      case BuiltinVar::TidY: return bv(cur_->ty);
+      case BuiltinVar::TidZ: return bv(cur_->tz);
+      case BuiltinVar::BidX: return bv(bx_);
+      case BuiltinVar::BidY: return bv(by_);
+      case BuiltinVar::BdimX: return bv(grid_.bdimX);
+      case BuiltinVar::BdimY: return bv(grid_.bdimY);
+      case BuiltinVar::BdimZ: return bv(grid_.bdimZ);
+      case BuiltinVar::GdimX: return bv(grid_.gdimX);
+      case BuiltinVar::GdimY: return bv(grid_.gdimY);
+    }
+    throw PugError("unknown builtin");
+  }
+
+  Expr readVar(const VarDecl* d) {
+    if (d->space == MemSpace::Param) return paramValue_.at(d);
+    auto it = cur_->privates.find(d);
+    if (it != cur_->privates.end()) return it->second;
+    // First read of an uninitialized private: a fresh unconstrained value
+    // (this is also how postcondition spec variables come to life).
+    Expr fresh = ctx_.freshVar(prefix_ + "_" + d->name, bvSortName());
+    cur_->privates[d] = fresh;
+    return fresh;
+  }
+
+  void exec(const Stmt& s, Expr guard) {
+    Translator tr = makeTranslator();
+    switch (s.kind) {
+      case Stmt::Kind::Decl: {
+        const VarDecl* d = s.decl.get();
+        if (d->space == MemSpace::Shared) return;  // allocated per block
+        if (d->init) cur_->privates[d] = tr.toBv(*d->init);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        Expr g = effective(guard);
+        Expr value = tr.toBv(*s.rhs);
+        if (s.lhs->kind == lang::Expr::Kind::VarRef) {
+          const VarDecl* d = s.lhs->decl;
+          if (s.isCompound)
+            value = applyCompound(tr, s, readVar(d), value);
+          // Writes to scalar params shadow the launch value thread-locally
+          // via the privates map, so the same ite-merge applies everywhere.
+          Expr old = readVar(d);
+          cur_->privates[d] = ctx_.mkIte(g, value, old);
+          return;
+        }
+        const VarDecl* d = s.lhs->decl;
+        Expr arr = arrays_.at(d);
+        Expr idx = tr.flatIndex(*s.lhs);
+        if (s.isCompound)
+          value = applyCompound(tr, s, ctx_.mkSelect(arr, idx), value);
+        Expr next = ctx_.mkIte(g, ctx_.mkStore(arr, idx, value), arr);
+        if (opt_.ssaEquations) {
+          // Paper-faithful TRANS: fresh SSA version + defining equation.
+          Expr ssa = ctx_.freshVar(prefix_ + "_" + d->name + "_ssa",
+                                   arraySort());
+          out_.assumptions =
+              ctx_.mkAnd(out_.assumptions, ctx_.mkEq(ssa, next));
+          next = ssa;
+        }
+        arrays_[d] = next;
+        return;
+      }
+      case Stmt::Kind::If: {
+        Expr c = tr.toBool(*s.cond);
+        if (c.isTrue()) {
+          exec(*s.thenStmt, guard);
+        } else if (c.isFalse()) {
+          if (s.elseStmt) exec(*s.elseStmt, guard);
+        } else {
+          exec(*s.thenStmt, ctx_.mkAnd(guard, c));
+          if (s.elseStmt) exec(*s.elseStmt, ctx_.mkAnd(guard, ctx_.mkNot(c)));
+        }
+        return;
+      }
+      case Stmt::Kind::For: {
+        if (s.init) exec(*s.init, guard);
+        for (uint32_t iter = 0;; ++iter) {
+          if (iter > opt_.maxUnroll)
+            throw PugError("per-thread loop unrolling exceeded the bound");
+          if (s.cond) {
+            Expr c = makeTranslator().toBool(*s.cond);
+            if (!c.isConst())
+              throw PugError(
+                  "loop condition does not fold to a constant at encode "
+                  "time; concretize the inputs it reads (+C)");
+            if (c.isFalse()) break;
+          }
+          exec(*s.body, guard);
+          if (s.step) exec(*s.step, guard);
+          if (!s.cond) break;
+        }
+        return;
+      }
+      case Stmt::Kind::While: {
+        for (uint32_t iter = 0;; ++iter) {
+          if (iter > opt_.maxUnroll)
+            throw PugError("per-thread loop unrolling exceeded the bound");
+          Expr c = makeTranslator().toBool(*s.cond);
+          if (!c.isConst())
+            throw PugError(
+                "while condition does not fold to a constant at encode "
+                "time; concretize the inputs it reads (+C)");
+          if (c.isFalse()) break;
+          exec(*s.body, guard);
+        }
+        return;
+      }
+      case Stmt::Kind::Block:
+        for (const auto& st : s.stmts) exec(*st, guard);
+        return;
+      case Stmt::Kind::Barrier:
+        throw PugError(
+            "barrier in a non-uniform position (inside divergent control "
+            "flow or an unsupported loop shape)");
+      case Stmt::Kind::Return:
+        cur_->active = ctx_.mkAnd(cur_->active,
+                                  ctx_.mkNot(effective(guard)));
+        return;
+      case Stmt::Kind::Assert:
+        out_.asserts.push_back(
+            {effective(guard), tr.toBool(*s.cond), s.loc});
+        return;
+      case Stmt::Kind::Assume:
+        out_.assumptions = ctx_.mkAnd(
+            out_.assumptions,
+            ctx_.mkImplies(effective(guard), tr.toBool(*s.cond)));
+        return;
+      case Stmt::Kind::Postcond:
+        return;  // handled once, after execution (collectPostconds)
+    }
+  }
+
+  Expr applyCompound(Translator& tr, const Stmt& s, Expr old, Expr rhs) {
+    const bool uns =
+        lang::exprIsUnsigned(*s.lhs) || lang::exprIsUnsigned(*s.rhs);
+    switch (s.compoundOp) {
+      case lang::BinOp::Add: return ctx_.mkAdd(old, rhs);
+      case lang::BinOp::Sub: return ctx_.mkSub(old, rhs);
+      case lang::BinOp::Mul: return ctx_.mkMul(old, rhs);
+      case lang::BinOp::Div:
+        return uns ? ctx_.mkUDiv(old, rhs) : ctx_.mkSDiv(old, rhs);
+      case lang::BinOp::Rem:
+        return uns ? ctx_.mkURem(old, rhs) : ctx_.mkSRem(old, rhs);
+      case lang::BinOp::BitAnd: return ctx_.mkBvAnd(old, rhs);
+      case lang::BinOp::BitOr: return ctx_.mkBvOr(old, rhs);
+      case lang::BinOp::BitXor: return ctx_.mkBvXor(old, rhs);
+      case lang::BinOp::Shl: return ctx_.mkShl(old, rhs);
+      case lang::BinOp::Shr:
+        return uns ? ctx_.mkLShr(old, rhs) : ctx_.mkAShr(old, rhs);
+      default:
+        throw PugError("unsupported compound assignment operator");
+      }
+    (void)tr;
+  }
+
+  [[nodiscard]] Expr effective(Expr guard) {
+    return ctx_.mkAnd(guard, cur_->active);
+  }
+
+  /// Translates postcondition statements once, with spec variables (the
+  /// uninitialized privates they mention) as fresh universal variables and
+  /// arrays bound to their final state.
+  void collectPostconds(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Postcond: {
+        std::unordered_map<const VarDecl*, Expr> specEnv;
+        std::vector<Expr> specVars;
+        EnvCallbacks cbs;
+        cbs.builtin = [this](BuiltinVar b) {
+          // Postconditions speak about the whole grid, not one thread.
+          switch (b) {
+            case BuiltinVar::BdimX: return bv(grid_.bdimX);
+            case BuiltinVar::BdimY: return bv(grid_.bdimY);
+            case BuiltinVar::BdimZ: return bv(grid_.bdimZ);
+            case BuiltinVar::GdimX: return bv(grid_.gdimX);
+            case BuiltinVar::GdimY: return bv(grid_.gdimY);
+            default:
+              throw PugError("postcondition cannot mention tid/bid");
+          }
+        };
+        cbs.readVar = [this, &specEnv, &specVars](const VarDecl* d) {
+          if (d->space == MemSpace::Param) return paramValue_.at(d);
+          auto it = specEnv.find(d);
+          if (it != specEnv.end()) return it->second;
+          Expr v = ctx_.freshVar(prefix_ + "_spec_" + d->name, bvSortName());
+          specEnv[d] = v;
+          specVars.push_back(v);
+          return v;
+        };
+        cbs.readArray = [this](const VarDecl* d, Expr idx) {
+          return ctx_.mkSelect(arrays_.at(d), idx);  // final state
+        };
+        Translator tr(ctx_, opt_, std::move(cbs));
+        out_.postconds.push_back({tr.toBool(*s.cond), specVars, s.loc});
+        return;
+      }
+      case Stmt::Kind::If:
+        collectPostconds(*s.thenStmt);
+        if (s.elseStmt) collectPostconds(*s.elseStmt);
+        return;
+      case Stmt::Kind::For:
+      case Stmt::Kind::While:
+        collectPostconds(*s.body);
+        return;
+      case Stmt::Kind::Block:
+        for (const auto& st : s.stmts) collectPostconds(*st);
+        return;
+      default:
+        return;
+    }
+  }
+
+  expr::Context& ctx_;
+  const lang::Kernel& kernel_;
+  const GridConfig& grid_;
+  const EncodeOptions& opt_;
+  std::string prefix_;
+  EncodedKernel out_;
+
+  std::unordered_map<const VarDecl*, Expr> arrays_;     // current SSA value
+  std::unordered_map<const VarDecl*, Expr> paramValue_; // scalar params
+  std::vector<ThreadState> threads_;
+  ThreadState* cur_ = nullptr;
+  uint32_t bx_ = 0, by_ = 0;
+};
+
+}  // namespace
+
+std::string GridConfig::str() const {
+  std::ostringstream os;
+  os << "grid(" << gdimX << "x" << gdimY << ") block(" << bdimX << "x"
+     << bdimY << "x" << bdimZ << ")";
+  return os.str();
+}
+
+EncodedKernel encodeSsa(expr::Context& ctx, const lang::Kernel& kernel,
+                        const GridConfig& grid, const EncodeOptions& options,
+                        const std::string& prefix) {
+  require(grid.totalThreads() >= 1, "empty grid");
+  require((uint64_t{1} << options.width) > grid.threadsPerBlock(),
+          "bit-width too small to address the block");
+  return SsaEncoder(ctx, kernel, grid, options, prefix).run();
+}
+
+}  // namespace pugpara::encode

@@ -1,0 +1,88 @@
+// Non-parameterized encoder (paper Sec. III): enumerates every thread of a
+// concrete grid and serializes their shared-memory accesses in the natural
+// order (tid-major) per barrier interval, producing store-chain expressions
+// that play the role of the SSA-indexed TRANS(t, n) relation.
+//
+// Two passes:
+//  * Pass A (barrier flattening): splits the kernel into barrier intervals,
+//    statically unrolling any loop that contains a barrier. Such loops must
+//    have launch-uniform, concretely foldable bounds — when a bound reads a
+//    symbolic scalar parameter the encoder demands a "+C" concretization,
+//    exactly the paper's Table II workaround.
+//  * Pass B (symbolic execution): runs every thread through each interval in
+//    natural order. Branches merge via ite (no path explosion); loops
+//    without barriers unroll per-thread (bounds fold after substituting the
+//    concrete thread coordinates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/symbolic_env.h"
+#include "expr/context.h"
+#include "lang/ast.h"
+
+namespace pugpara::encode {
+
+struct GridConfig {
+  uint32_t gdimX = 1, gdimY = 1;
+  uint32_t bdimX = 1, bdimY = 1, bdimZ = 1;
+
+  [[nodiscard]] uint64_t threadsPerBlock() const {
+    return static_cast<uint64_t>(bdimX) * bdimY * bdimZ;
+  }
+  [[nodiscard]] uint64_t blocks() const {
+    return static_cast<uint64_t>(gdimX) * gdimY;
+  }
+  [[nodiscard]] uint64_t totalThreads() const {
+    return threadsPerBlock() * blocks();
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// `guard => cond` must be valid for the assertion to hold.
+struct Obligation {
+  expr::Expr guard;
+  expr::Expr cond;
+  SourceLoc loc;
+};
+
+/// A translated postcondition. `specVars` are the kernel's uninitialized
+/// specification variables (the paper's `int i, j;` idiom); they are free in
+/// `formula` and therefore universally interpreted when the negation is
+/// checked for unsatisfiability.
+struct Postcondition {
+  expr::Expr formula;
+  std::vector<expr::Expr> specVars;
+  SourceLoc loc;
+};
+
+struct EncodedKernel {
+  uint32_t width = 0;
+  expr::Expr assumptions;  // config constraints plus assume(...) statements
+
+  std::vector<Obligation> asserts;
+  std::vector<Postcondition> postconds;
+
+  // Pointer parameters, in declaration order.
+  std::vector<const lang::VarDecl*> arrayParams;
+  std::vector<expr::Expr> inputArrays;  // initial symbolic state
+  std::vector<expr::Expr> finalArrays;  // state after all threads ran
+
+  // Scalar parameters, in declaration order.
+  std::vector<const lang::VarDecl*> scalarParams;
+  std::vector<expr::Expr> scalarInputs;
+};
+
+/// Encodes `kernel` for the concrete grid. Inputs are named by parameter
+/// *position* ("pp_arr0", "pp_scl0", ...), so two kernels encoded in the same
+/// Context automatically share their inputs — which is exactly what the
+/// equivalence query needs. `prefix` namespaces kernel-internal variables.
+/// Throws PugError when the kernel is not encodable for this configuration.
+[[nodiscard]] EncodedKernel encodeSsa(expr::Context& ctx,
+                                      const lang::Kernel& kernel,
+                                      const GridConfig& grid,
+                                      const EncodeOptions& options,
+                                      const std::string& prefix);
+
+}  // namespace pugpara::encode

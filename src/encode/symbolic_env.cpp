@@ -1,0 +1,130 @@
+#include "encode/symbolic_env.h"
+
+#include "lang/sema.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::encode {
+
+using expr::Expr;
+using lang::BinOp;
+using lang::UnOp;
+
+Expr Translator::coerceBv(Expr e) {
+  if (e.sort().isBv()) return e;
+  require(e.sort().isBool(), "cannot coerce array to scalar");
+  return ctx_.mkIte(e, ctx_.bvVal(1, opt_.width), ctx_.bvVal(0, opt_.width));
+}
+
+Expr Translator::coerceBool(Expr e) {
+  if (e.sort().isBool()) return e;
+  require(e.sort().isBv(), "cannot coerce array to Bool");
+  return ctx_.mkNe(e, ctx_.bvVal(0, e.sort().width()));
+}
+
+Expr Translator::toBv(const lang::Expr& e) { return coerceBv(translate(e)); }
+
+Expr Translator::toBool(const lang::Expr& e) {
+  return coerceBool(translate(e));
+}
+
+Expr Translator::flatIndex(const lang::Expr& e) {
+  require(e.kind == lang::Expr::Kind::Index && e.decl != nullptr,
+          "flatIndex expects a resolved array access");
+  const lang::VarDecl* d = e.decl;
+  Expr idx = toBv(*e.args[0]);
+  for (size_t k = 1; k < e.args.size(); ++k) {
+    Expr extent = toBv(*d->dims[k]);
+    idx = ctx_.mkAdd(ctx_.mkMul(idx, extent), toBv(*e.args[k]));
+  }
+  return idx;
+}
+
+Expr Translator::binary(const lang::Expr& e) {
+  const BinOp op = e.binop;
+
+  // Logical operators work on Bool.
+  if (op == BinOp::LAnd || op == BinOp::LOr || op == BinOp::Implies) {
+    Expr a = toBool(*e.args[0]);
+    Expr b = toBool(*e.args[1]);
+    switch (op) {
+      case BinOp::LAnd: return ctx_.mkAnd(a, b);
+      case BinOp::LOr: return ctx_.mkOr(a, b);
+      default: return ctx_.mkImplies(a, b);
+    }
+  }
+
+  Expr a = toBv(*e.args[0]);
+  Expr b = toBv(*e.args[1]);
+  // Signedness: C-style inference shared with the VM.
+  const bool uns = lang::exprIsUnsigned(*e.args[0]) ||
+                   lang::exprIsUnsigned(*e.args[1]);
+  switch (op) {
+    case BinOp::Add: return ctx_.mkAdd(a, b);
+    case BinOp::Sub: return ctx_.mkSub(a, b);
+    case BinOp::Mul: return ctx_.mkMul(a, b);
+    case BinOp::Div: return uns ? ctx_.mkUDiv(a, b) : ctx_.mkSDiv(a, b);
+    case BinOp::Rem: return uns ? ctx_.mkURem(a, b) : ctx_.mkSRem(a, b);
+    case BinOp::BitAnd: return ctx_.mkBvAnd(a, b);
+    case BinOp::BitOr: return ctx_.mkBvOr(a, b);
+    case BinOp::BitXor: return ctx_.mkBvXor(a, b);
+    case BinOp::Shl: return ctx_.mkShl(a, b);
+    case BinOp::Shr: return uns ? ctx_.mkLShr(a, b) : ctx_.mkAShr(a, b);
+    case BinOp::Eq: return ctx_.mkEq(a, b);
+    case BinOp::Ne: return ctx_.mkNe(a, b);
+    case BinOp::Lt: return uns ? ctx_.mkUlt(a, b) : ctx_.mkSlt(a, b);
+    case BinOp::Le: return uns ? ctx_.mkUle(a, b) : ctx_.mkSle(a, b);
+    case BinOp::Gt: return uns ? ctx_.mkUgt(a, b) : ctx_.mkSgt(a, b);
+    case BinOp::Ge: return uns ? ctx_.mkUge(a, b) : ctx_.mkSge(a, b);
+    default:
+      throw PugError("binary: unhandled operator");
+  }
+}
+
+Expr Translator::translate(const lang::Expr& e) {
+  switch (e.kind) {
+    case lang::Expr::Kind::IntLit:
+      return ctx_.bvVal(e.intValue, opt_.width);
+    case lang::Expr::Kind::BoolLit:
+      return ctx_.boolVal(e.boolValue);
+    case lang::Expr::Kind::Builtin:
+      return cbs_.builtin(e.builtin);
+    case lang::Expr::Kind::VarRef:
+      require(e.decl != nullptr, "translate: unresolved variable");
+      require(!e.decl->isArray(),
+              "translate: array '" + e.name + "' used as a scalar");
+      return cbs_.readVar(e.decl);
+    case lang::Expr::Kind::Index:
+      return cbs_.readArray(e.decl, flatIndex(e));
+    case lang::Expr::Kind::Unary: {
+      if (e.unop == UnOp::LNot) return ctx_.mkNot(toBool(*e.args[0]));
+      Expr a = toBv(*e.args[0]);
+      return e.unop == UnOp::Neg ? ctx_.mkBvNeg(a) : ctx_.mkBvNot(a);
+    }
+    case lang::Expr::Kind::Binary:
+      return binary(e);
+    case lang::Expr::Kind::Ternary: {
+      Expr c = toBool(*e.args[0]);
+      // Branches are coerced to a common scalar sort.
+      Expr t = toBv(*e.args[1]);
+      Expr el = toBv(*e.args[2]);
+      return ctx_.mkIte(c, t, el);
+    }
+    case lang::Expr::Kind::Call: {
+      const bool uns = lang::exprIsUnsigned(e);
+      if (e.name == "abs") {
+        Expr a = toBv(*e.args[0]);
+        Expr zero = ctx_.bvVal(0, opt_.width);
+        return ctx_.mkIte(ctx_.mkSlt(a, zero), ctx_.mkBvNeg(a), a);
+      }
+      Expr a = toBv(*e.args[0]);
+      Expr b = toBv(*e.args[1]);
+      Expr aLess = uns ? ctx_.mkUlt(a, b) : ctx_.mkSlt(a, b);
+      if (e.name == "min") return ctx_.mkIte(aLess, a, b);
+      if (e.name == "max") return ctx_.mkIte(aLess, b, a);
+      throw PugError("translate: unknown call '" + e.name + "'");
+    }
+  }
+  throw PugError("translate: unhandled expression kind");
+}
+
+}  // namespace pugpara::encode

@@ -1,0 +1,76 @@
+// Shared translation layer from mini-CUDA AST expressions to symbolic
+// bit-vector expressions. Both the non-parameterized SSA encoder (Sec. III)
+// and the parameterized CA extractor (Sec. IV) instantiate this with their
+// own variable/array/builtin bindings.
+//
+// Sort discipline: the kernel language is integer-typed; comparisons and
+// logical operators produce Bool-sorted expressions, everything else
+// BitVec(width). toBool / toBv coerce at the boundaries (C's "nonzero is
+// true" convention).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "expr/context.h"
+#include "lang/ast.h"
+
+namespace pugpara::encode {
+
+struct EncodeOptions {
+  uint32_t width = 16;          // bit-width of every scalar (paper's knob)
+  uint32_t maxUnroll = 4096;    // safety cap for symbolic-executor unrolling
+  /// "+C" concretizations: scalar parameter name -> concrete value
+  /// (Sec. V: "we must concretize some of the symbolic variables").
+  std::unordered_map<std::string, uint64_t> concretize;
+  /// Non-parameterized encoding style. `false` (default) substitutes array
+  /// states through, letting the simplifier discharge concrete-address
+  /// kernels outright; `true` emits the paper's Sec. III TRANS relation —
+  /// one fresh SSA array variable plus one defining equation per update —
+  /// which hands all the work to the solver (and reproduces the paper's
+  /// blow-up numbers).
+  bool ssaEquations = false;
+};
+
+/// Callbacks a translation environment must provide.
+struct EnvCallbacks {
+  /// Value of a CUDA builtin (tid.x, bdim.y, ...), BitVec(width)-sorted.
+  std::function<expr::Expr(lang::BuiltinVar)> builtin;
+  /// Current value of a private scalar / scalar parameter.
+  std::function<expr::Expr(const lang::VarDecl*)> readVar;
+  /// Element read from an array at a flattened index.
+  std::function<expr::Expr(const lang::VarDecl*, expr::Expr flatIndex)>
+      readArray;
+};
+
+class Translator {
+ public:
+  Translator(expr::Context& ctx, EncodeOptions options, EnvCallbacks cbs)
+      : ctx_(ctx), opt_(std::move(options)), cbs_(std::move(cbs)) {}
+
+  [[nodiscard]] expr::Context& ctx() const { return ctx_; }
+  [[nodiscard]] const EncodeOptions& options() const { return opt_; }
+  [[nodiscard]] expr::Sort bvSort() const { return expr::Sort::bv(opt_.width); }
+
+  /// Translates to a BitVec(width) value (bools become 0/1).
+  [[nodiscard]] expr::Expr toBv(const lang::Expr& e);
+  /// Translates to a Bool value (bit-vectors become `!= 0`).
+  [[nodiscard]] expr::Expr toBool(const lang::Expr& e);
+
+  /// Row-major flattened index of a (possibly multi-dimensional) access.
+  [[nodiscard]] expr::Expr flatIndex(const lang::Expr& indexExpr);
+
+  /// Coercions on already-translated expressions.
+  [[nodiscard]] expr::Expr coerceBv(expr::Expr e);
+  [[nodiscard]] expr::Expr coerceBool(expr::Expr e);
+
+ private:
+  [[nodiscard]] expr::Expr translate(const lang::Expr& e);  // natural sort
+  [[nodiscard]] expr::Expr binary(const lang::Expr& e);
+
+  expr::Context& ctx_;
+  EncodeOptions opt_;
+  EnvCallbacks cbs_;
+};
+
+}  // namespace pugpara::encode

@@ -1,0 +1,73 @@
+#include "exec/bytecode.h"
+
+#include <sstream>
+
+namespace pugpara::exec {
+
+namespace {
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::PushConst: return "push";
+    case Op::LoadLocal: return "ldloc";
+    case Op::StoreLocal: return "stloc";
+    case Op::LoadBuiltin: return "ldbuiltin";
+    case Op::LoadArray: return "ldarr";
+    case Op::StoreArray: return "starr";
+    case Op::Binary: return "bin";
+    case Op::Unary: return "un";
+    case Op::Select: return "select";
+    case Op::Min: return "min";
+    case Op::Max: return "max";
+    case Op::Abs: return "abs";
+    case Op::Jump: return "jmp";
+    case Op::JumpIfZero: return "jz";
+    case Op::Barrier: return "barrier";
+    case Op::Halt: return "halt";
+    case Op::Assert: return "assert";
+    case Op::Assume: return "assume";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CompiledKernel::disassemble() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    os << i << ": " << opName(in.op);
+    switch (in.op) {
+      case Op::PushConst: os << ' ' << in.imm; break;
+      case Op::LoadLocal:
+      case Op::StoreLocal:
+        os << ' ' << (in.a < localNames.size() ? localNames[in.a] : "?");
+        break;
+      case Op::LoadBuiltin:
+        os << ' '
+           << lang::builtinName(static_cast<lang::BuiltinVar>(in.a));
+        break;
+      case Op::LoadArray:
+      case Op::StoreArray:
+        os << ' ' << (in.a < arrays.size() ? arrays[in.a].name : "?");
+        break;
+      case Op::Binary:
+        os << ' ' << lang::binOpName(static_cast<lang::BinOp>(in.a))
+           << (in.b ? "u" : "");
+        break;
+      case Op::Unary:
+        os << ' ' << lang::unOpName(static_cast<lang::UnOp>(in.a));
+        break;
+      case Op::Jump:
+      case Op::JumpIfZero:
+        os << " ->" << in.a;
+        break;
+      default:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pugpara::exec

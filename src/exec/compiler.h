@@ -1,0 +1,14 @@
+// AST -> bytecode compiler for the concrete GPU VM.
+#pragma once
+
+#include "exec/bytecode.h"
+#include "lang/ast.h"
+
+namespace pugpara::exec {
+
+/// Compiles a sema-analyzed kernel. The kernel must outlive the result.
+/// Postcond statements are collected for host-side checking, not compiled.
+/// Throws PugError on internal inconsistencies (unresolved decls).
+[[nodiscard]] CompiledKernel compile(const lang::Kernel& kernel);
+
+}  // namespace pugpara::exec

@@ -1,0 +1,430 @@
+#include "exec/machine.h"
+
+#include <sstream>
+
+#include "expr/bv_ops.h"
+#include "lang/sema.h"
+
+namespace pugpara::exec {
+
+namespace {
+
+using expr::maskToWidth;
+using expr::toSigned;
+using lang::BinOp;
+using lang::BuiltinVar;
+using lang::UnOp;
+
+struct ThreadCtx {
+  Dim3 tid;
+  uint32_t linear = 0;
+  uint32_t pc = 0;
+  std::vector<uint64_t> stack;
+  std::vector<uint64_t> locals;
+  bool halted = false;
+  bool atBarrier = false;
+  uint64_t fuel = 0;
+};
+
+/// Evaluates a launch-uniform AST expression (shared-array extents) without
+/// compiling it: only literals, scalar params, builtins and arithmetic.
+uint64_t evalUniform(const lang::Expr& e, const LaunchParams& p,
+                     const std::vector<uint64_t>& scalarSlots,
+                     const std::unordered_map<const lang::VarDecl*, uint32_t>&
+                         scalarIndex) {
+  const uint32_t w = p.width;
+  switch (e.kind) {
+    case lang::Expr::Kind::IntLit: return maskToWidth(e.intValue, w);
+    case lang::Expr::Kind::BoolLit: return e.boolValue ? 1 : 0;
+    case lang::Expr::Kind::Builtin:
+      switch (e.builtin) {
+        case BuiltinVar::BdimX: return p.block.x;
+        case BuiltinVar::BdimY: return p.block.y;
+        case BuiltinVar::BdimZ: return p.block.z;
+        case BuiltinVar::GdimX: return p.grid.x;
+        case BuiltinVar::GdimY: return p.grid.y;
+        default:
+          throw PugError("array extent depends on a per-thread builtin");
+      }
+    case lang::Expr::Kind::VarRef: {
+      auto it = scalarIndex.find(e.decl);
+      require(it != scalarIndex.end(),
+              "array extent reads non-parameter variable");
+      return scalarSlots[it->second];
+    }
+    case lang::Expr::Kind::Unary: {
+      uint64_t v = evalUniform(*e.args[0], p, scalarSlots, scalarIndex);
+      switch (e.unop) {
+        case UnOp::Neg: return maskToWidth(~v + 1, w);
+        case UnOp::LNot: return v == 0 ? 1 : 0;
+        case UnOp::BitNot: return maskToWidth(~v, w);
+      }
+      return 0;
+    }
+    case lang::Expr::Kind::Binary: {
+      uint64_t a = evalUniform(*e.args[0], p, scalarSlots, scalarIndex);
+      uint64_t b = evalUniform(*e.args[1], p, scalarSlots, scalarIndex);
+      switch (e.binop) {
+        case BinOp::Add: return maskToWidth(a + b, w);
+        case BinOp::Sub: return maskToWidth(a - b, w);
+        case BinOp::Mul: return maskToWidth(a * b, w);
+        case BinOp::Div: return b ? a / b : 0;
+        case BinOp::Rem: return b ? a % b : 0;
+        case BinOp::Shl: return maskToWidth(a << b, w);
+        case BinOp::Shr: return a >> b;
+        default:
+          throw PugError("unsupported operator in array extent");
+      }
+    }
+    default:
+      throw PugError("unsupported expression in array extent");
+  }
+}
+
+class BlockRunner {
+ public:
+  BlockRunner(const CompiledKernel& k, const LaunchParams& p,
+              std::vector<Buffer>& globals,
+              const std::vector<size_t>& bufIndexByParam,
+              LaunchResult& result, Monitors& monitors)
+      : k_(k), p_(p), globals_(globals), bufIndexByParam_(bufIndexByParam),
+        result_(result), monitors_(monitors) {}
+
+  bool runBlock(Dim3 bid, uint32_t blockLinear) {
+    bid_ = bid;
+    blockLinear_ = blockLinear;
+    if (!allocateShared()) return false;
+    spawnThreads();
+
+    // Canonical schedule: run each runnable thread to its next barrier or
+    // halt; then release the barrier; repeat until every thread halts.
+    for (;;) {
+      for (auto& t : threads_)
+        if (!t.halted && !t.atBarrier)
+          if (!runThread(t)) return false;
+      bool anyAtBarrier = false, anyHalted = false;
+      for (const auto& t : threads_) {
+        anyAtBarrier |= t.atBarrier;
+        anyHalted |= t.halted;
+      }
+      if (!anyAtBarrier) break;  // everyone halted
+      if (anyHalted && p_.strictBarrier) {
+        fail("barrier divergence: some threads exited before a barrier "
+             "other threads are waiting at (block " +
+             std::to_string(blockLinear_) + ")");
+        return false;
+      }
+      for (auto& t : threads_) t.atBarrier = false;
+      monitors_.closeInterval();
+    }
+    monitors_.closeInterval();
+    return true;
+  }
+
+ private:
+  void fail(std::string message) {
+    result_.completed = false;
+    result_.error = std::move(message);
+  }
+
+  bool allocateShared() {
+    shared_.clear();
+    std::unordered_map<const lang::VarDecl*, uint32_t> scalarIndex;
+    std::vector<uint64_t> scalarSlots;
+    for (size_t i = 0; i < k_.scalarParams.size(); ++i) {
+      scalarIndex.emplace(k_.scalarParams[i], static_cast<uint32_t>(i));
+      scalarSlots.push_back(i < p_.scalarArgs.size() ? p_.scalarArgs[i] : 0);
+    }
+    for (const ArrayInfo& a : k_.arrays) {
+      if (!a.isShared) {
+        shared_.emplace_back();  // placeholder; globals indexed separately
+        continue;
+      }
+      uint64_t total = 1;
+      try {
+        for (const auto& dim : a.decl->dims)
+          total *= evalUniform(*dim, p_, scalarSlots, scalarIndex);
+      } catch (const PugError& e) {
+        fail(e.what());
+        return false;
+      }
+      if (total == 0 || total > (uint64_t{1} << 24)) {
+        fail("shared array '" + a.name + "' has invalid extent " +
+             std::to_string(total));
+        return false;
+      }
+      shared_.emplace_back(a.name, static_cast<size_t>(total));
+    }
+    return true;
+  }
+
+  void spawnThreads() {
+    threads_.clear();
+    const uint64_t n = p_.block.count();
+    threads_.reserve(n);
+    uint32_t linear = 0;
+    for (uint32_t z = 0; z < p_.block.z; ++z)
+      for (uint32_t y = 0; y < p_.block.y; ++y)
+        for (uint32_t x = 0; x < p_.block.x; ++x) {
+          ThreadCtx t;
+          t.tid = {x, y, z};
+          t.linear = linear++;
+          t.locals.assign(k_.localNames.size(), 0);
+          for (size_t i = 0;
+               i < k_.scalarParams.size() && i < p_.scalarArgs.size(); ++i)
+            t.locals[i] = maskToWidth(p_.scalarArgs[i], p_.width);
+          t.fuel = p_.fuelPerThread;
+          threads_.push_back(std::move(t));
+        }
+  }
+
+  uint64_t builtinValue(const ThreadCtx& t, BuiltinVar v) const {
+    switch (v) {
+      case BuiltinVar::TidX: return t.tid.x;
+      case BuiltinVar::TidY: return t.tid.y;
+      case BuiltinVar::TidZ: return t.tid.z;
+      case BuiltinVar::BidX: return bid_.x;
+      case BuiltinVar::BidY: return bid_.y;
+      case BuiltinVar::BdimX: return p_.block.x;
+      case BuiltinVar::BdimY: return p_.block.y;
+      case BuiltinVar::BdimZ: return p_.block.z;
+      case BuiltinVar::GdimX: return p_.grid.x;
+      case BuiltinVar::GdimY: return p_.grid.y;
+    }
+    return 0;
+  }
+
+  static uint64_t applyBinary(BinOp op, bool isUnsigned, uint64_t a,
+                              uint64_t b, uint32_t w) {
+    using expr::Kind;
+    switch (op) {
+      case BinOp::Add: return expr::foldBvBin(Kind::BvAdd, a, b, w);
+      case BinOp::Sub: return expr::foldBvBin(Kind::BvSub, a, b, w);
+      case BinOp::Mul: return expr::foldBvBin(Kind::BvMul, a, b, w);
+      case BinOp::Div:
+        return expr::foldBvBin(isUnsigned ? Kind::BvUDiv : Kind::BvSDiv, a, b,
+                               w);
+      case BinOp::Rem:
+        return expr::foldBvBin(isUnsigned ? Kind::BvURem : Kind::BvSRem, a, b,
+                               w);
+      case BinOp::BitAnd: return a & b;
+      case BinOp::BitOr: return a | b;
+      case BinOp::BitXor: return a ^ b;
+      case BinOp::Shl: return expr::foldBvBin(Kind::BvShl, a, b, w);
+      case BinOp::Shr:
+        return expr::foldBvBin(isUnsigned ? Kind::BvLShr : Kind::BvAShr, a, b,
+                               w);
+      case BinOp::Eq: return a == b ? 1 : 0;
+      case BinOp::Ne: return a != b ? 1 : 0;
+      case BinOp::Lt:
+        return expr::foldBvCmp(isUnsigned ? Kind::BvUlt : Kind::BvSlt, a, b, w)
+                   ? 1
+                   : 0;
+      case BinOp::Le:
+        return expr::foldBvCmp(isUnsigned ? Kind::BvUle : Kind::BvSle, a, b, w)
+                   ? 1
+                   : 0;
+      case BinOp::Gt:
+        return expr::foldBvCmp(isUnsigned ? Kind::BvUlt : Kind::BvSlt, b, a, w)
+                   ? 1
+                   : 0;
+      case BinOp::Ge:
+        return expr::foldBvCmp(isUnsigned ? Kind::BvUle : Kind::BvSle, b, a, w)
+                   ? 1
+                   : 0;
+      case BinOp::LAnd: return (a != 0 && b != 0) ? 1 : 0;
+      case BinOp::LOr: return (a != 0 || b != 0) ? 1 : 0;
+      case BinOp::Implies: return (a == 0 || b != 0) ? 1 : 0;
+    }
+    return 0;
+  }
+
+  /// Executes one thread until it blocks (barrier), halts or errors.
+  bool runThread(ThreadCtx& t) {
+    const uint32_t w = p_.width;
+    auto pop = [&t]() {
+      uint64_t v = t.stack.back();
+      t.stack.pop_back();
+      return v;
+    };
+    while (!t.halted && !t.atBarrier) {
+      if (t.fuel-- == 0) {
+        fail("thread " + std::to_string(t.linear) + " in block " +
+             std::to_string(blockLinear_) +
+             " exhausted its step budget (possible infinite loop)");
+        return false;
+      }
+      ++result_.steps;
+      require(t.pc < k_.code.size(), "VM: program counter out of range");
+      const Instr& in = k_.code[t.pc++];
+      switch (in.op) {
+        case Op::PushConst:
+          t.stack.push_back(maskToWidth(in.imm, w));
+          break;
+        case Op::LoadLocal:
+          t.stack.push_back(t.locals[in.a]);
+          break;
+        case Op::StoreLocal:
+          t.locals[in.a] = maskToWidth(pop(), w);
+          break;
+        case Op::LoadBuiltin:
+          t.stack.push_back(maskToWidth(
+              builtinValue(t, static_cast<BuiltinVar>(in.a)), w));
+          break;
+        case Op::LoadArray:
+        case Op::StoreArray: {
+          const bool isStore = in.op == Op::StoreArray;
+          uint64_t value = isStore ? maskToWidth(pop(), w) : 0;
+          uint64_t index = pop();
+          const ArrayInfo& info = k_.arrays[in.a];
+          Buffer& buf = info.isShared
+                            ? shared_[in.a]
+                            : globals_[bufIndexByParam_[info.paramIndex]];
+          try {
+            if (isStore) {
+              buf.store(index, value);
+            } else {
+              value = buf.load(index);
+              t.stack.push_back(value);
+            }
+          } catch (const PugError& e) {
+            fail(std::string(e.what()) + " (thread " +
+                 std::to_string(t.linear) + ", block " +
+                 std::to_string(blockLinear_) + ", at " + in.loc.str() + ")");
+            return false;
+          }
+          AccessRecord rec;
+          rec.thread = t.linear;
+          rec.arrayId = in.a;
+          rec.isShared = info.isShared;
+          rec.isWrite = isStore;
+          rec.index = index;
+          rec.value = value;
+          rec.loc = in.loc;
+          monitors_.record(rec);
+          break;
+        }
+        case Op::Binary: {
+          uint64_t b = pop(), a = pop();
+          t.stack.push_back(
+              applyBinary(static_cast<BinOp>(in.a), in.b != 0, a, b, w));
+          break;
+        }
+        case Op::Unary: {
+          uint64_t a = pop();
+          switch (static_cast<UnOp>(in.a)) {
+            case UnOp::Neg: t.stack.push_back(maskToWidth(~a + 1, w)); break;
+            case UnOp::LNot: t.stack.push_back(a == 0 ? 1 : 0); break;
+            case UnOp::BitNot: t.stack.push_back(maskToWidth(~a, w)); break;
+          }
+          break;
+        }
+        case Op::Select: {
+          uint64_t e = pop(), th = pop(), c = pop();
+          t.stack.push_back(c != 0 ? th : e);
+          break;
+        }
+        case Op::Min:
+        case Op::Max: {
+          uint64_t b = pop(), a = pop();
+          bool aLess = in.b != 0 ? a < b : toSigned(a, w) < toSigned(b, w);
+          t.stack.push_back((in.op == Op::Min) == aLess ? a : b);
+          break;
+        }
+        case Op::Abs: {
+          uint64_t a = pop();
+          t.stack.push_back(toSigned(a, w) < 0 ? maskToWidth(~a + 1, w) : a);
+          break;
+        }
+        case Op::Jump:
+          t.pc = in.a;
+          break;
+        case Op::JumpIfZero:
+          if (pop() == 0) t.pc = in.a;
+          break;
+        case Op::Barrier:
+          t.atBarrier = true;
+          break;
+        case Op::Halt:
+          t.halted = true;
+          break;
+        case Op::Assert:
+          if (pop() == 0)
+            result_.assertFailures.push_back(
+                {in.loc, blockLinear_, t.linear});
+          break;
+        case Op::Assume:
+          if (pop() == 0) {
+            result_.assumptionViolated = true;
+            t.halted = true;  // infeasible thread stops contributing
+          }
+          break;
+      }
+    }
+    return true;
+  }
+
+  const CompiledKernel& k_;
+  const LaunchParams& p_;
+  std::vector<Buffer>& globals_;
+  const std::vector<size_t>& bufIndexByParam_;
+  LaunchResult& result_;
+  Monitors& monitors_;
+  Dim3 bid_;
+  uint32_t blockLinear_ = 0;
+  std::vector<ThreadCtx> threads_;
+  std::vector<Buffer> shared_;  // indexed by arrayId (globals: placeholder)
+};
+
+}  // namespace
+
+std::string AssertFailure::str() const {
+  std::ostringstream os;
+  os << "assert failed at " << loc.str() << " (block " << block << ", thread "
+     << thread << ")";
+  return os.str();
+}
+
+LaunchResult launch(const CompiledKernel& kernel, const LaunchParams& params,
+                    std::vector<Buffer>& globals) {
+  LaunchResult result;
+  result.completed = true;
+
+  // Buffers arrive one per *pointer* parameter, in declaration order; map
+  // each parameter ordinal to its buffer slot.
+  std::vector<size_t> bufIndexByParam(kernel.source->params.size(), SIZE_MAX);
+  size_t pointerParams = 0;
+  for (const auto& p : kernel.source->params)
+    if (p->type.isPointer) bufIndexByParam[p->paramIndex] = pointerParams++;
+  require(globals.size() == pointerParams,
+          "launch: one buffer per pointer parameter expected");
+  require(params.block.count() >= 1 && params.grid.count() >= 1,
+          "launch: empty grid or block");
+  require(params.width >= 1 && params.width <= 64,
+          "launch: width must be in [1, 64]");
+
+  std::vector<std::string> arrayNames;
+  arrayNames.reserve(kernel.arrays.size());
+  for (const auto& a : kernel.arrays) arrayNames.push_back(a.name);
+  Monitors monitors(params.monitors, std::move(arrayNames));
+
+  // Mask the input buffers to the launch width so that narrow-width replays
+  // of wide counterexamples stay consistent.
+  for (auto& b : globals)
+    for (auto& v : b.raw()) v = expr::maskToWidth(v, params.width);
+
+  uint32_t blockLinear = 0;
+  for (uint32_t by = 0; by < params.grid.y && result.completed; ++by)
+    for (uint32_t bx = 0; bx < params.grid.x && result.completed; ++bx) {
+      BlockRunner runner(kernel, params, globals, bufIndexByParam, result,
+                         monitors);
+      if (!runner.runBlock({bx, by, 0}, blockLinear++)) break;
+    }
+
+  result.races = monitors.races();
+  result.bankConflicts = monitors.bankConflicts();
+  result.uncoalesced = monitors.uncoalesced();
+  return result;
+}
+
+}  // namespace pugpara::exec

@@ -1,0 +1,67 @@
+// The GPU virtual machine: executes compiled kernels over a concrete grid,
+// serializing threads between barriers (the canonical schedule). Blocks run
+// sequentially; within a block, each thread runs until it reaches a barrier
+// or halts, after which the barrier is released for all arrivals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/bytecode.h"
+#include "exec/memory.h"
+#include "exec/monitors.h"
+
+namespace pugpara::exec {
+
+struct Dim3 {
+  uint32_t x = 1;
+  uint32_t y = 1;
+  uint32_t z = 1;
+
+  [[nodiscard]] uint64_t count() const {
+    return static_cast<uint64_t>(x) * y * z;
+  }
+};
+
+struct LaunchParams {
+  Dim3 grid;   // gdim (z unused: grids are at most 2-D)
+  Dim3 block;  // bdim
+  uint32_t width = 32;  // scalar bit-width (the paper's 8b/16b/32b knob)
+  std::vector<uint64_t> scalarArgs;  // values of scalar params, decl order
+  uint64_t fuelPerThread = 4'000'000;  // step budget (infinite-loop guard)
+  bool strictBarrier = false;  // error when exited threads skip a barrier
+  MonitorConfig monitors;
+};
+
+struct AssertFailure {
+  SourceLoc loc;
+  uint32_t block = 0;   // linear block id
+  uint32_t thread = 0;  // linear thread id within the block
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct LaunchResult {
+  bool completed = false;   // ran to the end (no fatal error)
+  std::string error;        // fatal: divergence, fuel, bad memory access
+  std::vector<AssertFailure> assertFailures;
+  bool assumptionViolated = false;  // some assume(...) was false
+  uint64_t steps = 0;
+
+  std::vector<RaceReport> races;
+  std::vector<BankConflictReport> bankConflicts;
+  std::vector<CoalescingReport> uncoalesced;
+
+  [[nodiscard]] bool clean() const {
+    return completed && assertFailures.empty() && races.empty();
+  }
+};
+
+/// Runs `kernel` on `globals` (one Buffer per pointer parameter, in
+/// declaration order; modified in place).
+[[nodiscard]] LaunchResult launch(const CompiledKernel& kernel,
+                                  const LaunchParams& params,
+                                  std::vector<Buffer>& globals);
+
+}  // namespace pugpara::exec

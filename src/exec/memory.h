@@ -1,0 +1,46 @@
+// Memory objects for the GPU VM: named flat buffers of width-masked words.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::exec {
+
+/// One flat array buffer (global memory region or a shared-memory tile).
+/// Elements are stored as uint64_t and masked to the launch bit-width on
+/// every store.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(std::string name, size_t size, uint64_t fill = 0)
+      : name_(std::move(name)), data_(size, fill) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+
+  [[nodiscard]] uint64_t load(uint64_t index) const {
+    require(index < data_.size(), "out-of-bounds read from '" + name_ +
+                                      "' at index " + std::to_string(index));
+    return data_[index];
+  }
+
+  void store(uint64_t index, uint64_t value) {
+    require(index < data_.size(), "out-of-bounds write to '" + name_ +
+                                      "' at index " + std::to_string(index));
+    data_[index] = value;
+  }
+
+  [[nodiscard]] std::vector<uint64_t>& raw() { return data_; }
+  [[nodiscard]] const std::vector<uint64_t>& raw() const { return data_; }
+
+  friend bool operator==(const Buffer&, const Buffer&) = default;
+
+ private:
+  std::string name_;
+  std::vector<uint64_t> data_;
+};
+
+}  // namespace pugpara::exec

@@ -1,0 +1,137 @@
+#include "exec/monitors.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pugpara::exec {
+
+std::string RaceReport::str() const {
+  std::ostringstream os;
+  os << (writeWrite ? "write-write" : "read-write") << " race on " << array
+     << "[" << index << "] between threads " << thread1 << " (at "
+     << loc1.str() << ") and " << thread2 << " (at " << loc2.str() << ")";
+  return os.str();
+}
+
+std::string BankConflictReport::str() const {
+  std::ostringstream os;
+  os << degree << "-way bank conflict on " << array << " (bank " << bank
+     << ", half-warp " << halfWarp << ") at " << loc.str();
+  return os.str();
+}
+
+std::string CoalescingReport::str() const {
+  std::ostringstream os;
+  os << "non-coalesced global access to " << array << " by half-warp "
+     << halfWarp << " at " << loc.str();
+  return os.str();
+}
+
+void Monitors::closeInterval() {
+  if (!config_.enabled || log_.empty()) {
+    log_.clear();
+    return;
+  }
+  require(config_.banks >= 1 && config_.halfWarp >= 1,
+          "monitor configuration needs at least one bank and warp slot");
+  detectRaces();
+  detectBankConflicts();
+  detectUncoalesced();
+  log_.clear();
+}
+
+void Monitors::detectRaces() {
+  // Group by (array, index); any pair of accesses from distinct threads with
+  // at least one write races (there is no intra-BI synchronization).
+  std::map<std::pair<uint32_t, uint64_t>, std::vector<const AccessRecord*>>
+      byCell;
+  for (const auto& a : log_) byCell[{a.arrayId, a.index}].push_back(&a);
+  for (auto& [cell, accesses] : byCell) {
+    const AccessRecord* firstWrite = nullptr;
+    for (const AccessRecord* a : accesses)
+      if (a->isWrite) {
+        firstWrite = a;
+        break;
+      }
+    if (firstWrite == nullptr) continue;
+    for (const AccessRecord* a : accesses) {
+      if (a->thread == firstWrite->thread) continue;
+      RaceReport r;
+      r.array = arrayNames_[cell.first];
+      r.index = cell.second;
+      r.thread1 = firstWrite->thread;
+      r.thread2 = a->thread;
+      r.writeWrite = a->isWrite;
+      r.loc1 = firstWrite->loc;
+      r.loc2 = a->loc;
+      races_.push_back(std::move(r));
+      break;  // one report per cell per interval keeps the output readable
+    }
+  }
+}
+
+void Monitors::detectBankConflicts() {
+  // Same static access (source location), same half-warp, same bank,
+  // different addresses -> conflict; degree = number of distinct addresses.
+  struct Key {
+    uint32_t line, col, arrayId, halfWarp, bank;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, std::set<uint64_t>> cells;
+  for (const auto& a : log_) {
+    if (!a.isShared) continue;
+    Key k{a.loc.line, a.loc.col, a.arrayId,
+          a.thread / config_.halfWarp,
+          static_cast<uint32_t>(a.index % config_.banks)};
+    cells[k].insert(a.index);
+  }
+  for (const auto& [k, addrs] : cells) {
+    if (addrs.size() < 2) continue;
+    BankConflictReport r;
+    r.array = arrayNames_[k.arrayId];
+    r.bank = k.bank;
+    r.degree = static_cast<uint32_t>(addrs.size());
+    r.halfWarp = k.halfWarp;
+    r.loc = {k.line, k.col};
+    bankConflicts_.push_back(std::move(r));
+  }
+}
+
+void Monitors::detectUncoalesced() {
+  // Per static access and half-warp: the set of global addresses must form
+  // a contiguous ascending run in thread order (the strict coalescing rule
+  // of compute capability 1.x, which the paper's optimizations target).
+  struct Key {
+    uint32_t line, col, arrayId, halfWarp;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, std::vector<std::pair<uint32_t, uint64_t>>> groups;
+  for (const auto& a : log_) {
+    if (a.isShared) continue;
+    Key k{a.loc.line, a.loc.col, a.arrayId, a.thread / config_.halfWarp};
+    groups[k].emplace_back(a.thread, a.index);
+  }
+  for (auto& [k, accesses] : groups) {
+    if (accesses.size() < 2) continue;
+    std::sort(accesses.begin(), accesses.end());
+    bool coalesced = true;
+    for (size_t i = 1; i < accesses.size(); ++i) {
+      const auto& [t0, a0] = accesses[i - 1];
+      const auto& [t1, a1] = accesses[i];
+      if (a1 - a0 != t1 - t0) {
+        coalesced = false;
+        break;
+      }
+    }
+    if (coalesced) continue;
+    CoalescingReport r;
+    r.array = arrayNames_[k.arrayId];
+    r.halfWarp = k.halfWarp;
+    r.loc = {k.line, k.col};
+    uncoalesced_.push_back(std::move(r));
+  }
+}
+
+}  // namespace pugpara::exec

@@ -1,0 +1,98 @@
+// Dynamic checkers attached to the VM, in the spirit of the instrumentation
+// tools the paper compares against (Boyer et al., GRace): per-barrier-
+// interval data-race detection, shared-memory bank-conflict detection and
+// global-memory coalescing analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::exec {
+
+struct AccessRecord {
+  uint32_t thread = 0;  // linear thread id within the block
+  uint32_t arrayId = 0;
+  bool isShared = false;
+  bool isWrite = false;
+  uint64_t index = 0;
+  uint64_t value = 0;
+  SourceLoc loc;  // source position of the access (instruction identity)
+};
+
+struct RaceReport {
+  std::string array;
+  uint64_t index = 0;
+  uint32_t thread1 = 0;
+  uint32_t thread2 = 0;
+  bool writeWrite = false;  // false: read-write race
+  SourceLoc loc1, loc2;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct BankConflictReport {
+  std::string array;
+  uint32_t bank = 0;
+  uint32_t degree = 0;     // number of threads hitting the bank together
+  uint32_t halfWarp = 0;
+  SourceLoc loc;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct CoalescingReport {
+  std::string array;
+  uint32_t halfWarp = 0;
+  SourceLoc loc;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct MonitorConfig {
+  bool enabled = false;
+  uint32_t banks = 16;     // GPUs of the paper's era: 16 banks
+  uint32_t halfWarp = 16;  // coalescing / conflict granularity
+};
+
+/// Collects the accesses of one barrier interval and analyzes them when the
+/// interval closes (barrier release or block end).
+class Monitors {
+ public:
+  Monitors(MonitorConfig config, std::vector<std::string> arrayNames)
+      : config_(config), arrayNames_(std::move(arrayNames)) {}
+
+  void record(AccessRecord rec) {
+    if (config_.enabled) log_.push_back(rec);
+  }
+
+  /// Closes the current barrier interval: runs race / bank-conflict /
+  /// coalescing analysis over the logged accesses, then clears the log.
+  void closeInterval();
+
+  [[nodiscard]] const std::vector<RaceReport>& races() const {
+    return races_;
+  }
+  [[nodiscard]] const std::vector<BankConflictReport>& bankConflicts() const {
+    return bankConflicts_;
+  }
+  [[nodiscard]] const std::vector<CoalescingReport>& uncoalesced() const {
+    return uncoalesced_;
+  }
+
+ private:
+  void detectRaces();
+  void detectBankConflicts();
+  void detectUncoalesced();
+
+  MonitorConfig config_;
+  std::vector<std::string> arrayNames_;
+  std::vector<AccessRecord> log_;
+  std::vector<RaceReport> races_;
+  std::vector<BankConflictReport> bankConflicts_;
+  std::vector<CoalescingReport> uncoalesced_;
+};
+
+}  // namespace pugpara::exec

@@ -1,0 +1,71 @@
+// Concrete bit-vector operation semantics, shared by the constant folder,
+// the evaluator and the MiniSMT model checker. Follows SMT-LIB QF_BV
+// exactly, including the division-by-zero conventions.
+#pragma once
+
+#include <cstdint>
+
+#include "expr/context.h"
+#include "expr/expr.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::expr {
+
+/// Applies a binary bit-vector operation on `width`-bit values.
+/// Inputs and output are masked to `width` bits.
+[[nodiscard]] inline uint64_t foldBvBin(Kind k, uint64_t x, uint64_t y,
+                                        uint32_t width) {
+  x = maskToWidth(x, width);
+  y = maskToWidth(y, width);
+  const auto allOnes = maskToWidth(~uint64_t{0}, width);
+  switch (k) {
+    case Kind::BvAdd: return maskToWidth(x + y, width);
+    case Kind::BvSub: return maskToWidth(x - y, width);
+    case Kind::BvMul: return maskToWidth(x * y, width);
+    case Kind::BvUDiv: return y == 0 ? allOnes : maskToWidth(x / y, width);
+    case Kind::BvURem: return y == 0 ? x : maskToWidth(x % y, width);
+    case Kind::BvSDiv: {
+      const int64_t sx = toSigned(x, width), sy = toSigned(y, width);
+      if (sy == 0) return sx < 0 ? 1 : allOnes;  // SMT-LIB bvsdiv-by-zero
+      // INT_MIN / -1 overflows in C++; in wrap-around BV semantics the
+      // result is INT_MIN again.
+      if (sy == -1) return maskToWidth(static_cast<uint64_t>(-sx), width);
+      return maskToWidth(static_cast<uint64_t>(sx / sy), width);
+    }
+    case Kind::BvSRem: {
+      const int64_t sx = toSigned(x, width), sy = toSigned(y, width);
+      if (sy == 0) return x;
+      if (sy == -1) return 0;
+      return maskToWidth(static_cast<uint64_t>(sx % sy), width);
+    }
+    case Kind::BvAnd: return x & y;
+    case Kind::BvOr: return x | y;
+    case Kind::BvXor: return x ^ y;
+    case Kind::BvShl: return y >= width ? 0 : maskToWidth(x << y, width);
+    case Kind::BvLShr: return y >= width ? 0 : x >> y;
+    case Kind::BvAShr: {
+      const bool neg = (x >> (width - 1)) & 1;
+      if (y >= width) return neg ? allOnes : 0;
+      uint64_t r = x >> y;
+      if (neg) r |= maskToWidth(allOnes << (width - y), width);
+      return r;
+    }
+    default: throw PugError("foldBvBin: not a binary bit-vector op");
+  }
+}
+
+/// Applies a bit-vector comparison on `width`-bit values.
+[[nodiscard]] inline bool foldBvCmp(Kind k, uint64_t x, uint64_t y,
+                                    uint32_t width) {
+  x = maskToWidth(x, width);
+  y = maskToWidth(y, width);
+  switch (k) {
+    case Kind::BvUlt: return x < y;
+    case Kind::BvUle: return x <= y;
+    case Kind::BvSlt: return toSigned(x, width) < toSigned(y, width);
+    case Kind::BvSle: return toSigned(x, width) <= toSigned(y, width);
+    default: throw PugError("foldBvCmp: not a comparison");
+  }
+}
+
+}  // namespace pugpara::expr

@@ -1,0 +1,379 @@
+#include "expr/context.h"
+
+#include <algorithm>
+
+#include "expr/simplify.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::expr {
+
+namespace {
+
+uint64_t hashCombine(uint64_t h, uint64_t v) {
+  // 64-bit FNV-ish mixing; quality is sufficient for bucketed interning.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+uint64_t nodeHash(Kind kind, Sort sort, std::span<const Expr> kids, uint32_t a,
+                  uint32_t b, uint64_t cval, const std::string& name) {
+  uint64_t h = hashCombine(static_cast<uint64_t>(kind), sort.hash());
+  h = hashCombine(h, a);
+  h = hashCombine(h, b);
+  h = hashCombine(h, cval);
+  for (char c : name) h = hashCombine(h, static_cast<uint64_t>(c));
+  for (const Expr& k : kids)
+    h = hashCombine(h, reinterpret_cast<uint64_t>(k.node()));
+  return h;
+}
+
+bool nodeEquals(const Node& n, Kind kind, Sort sort, std::span<const Expr> kids,
+                uint32_t a, uint32_t b, uint64_t cval,
+                const std::string& name) {
+  if (n.kind != kind || n.sort != sort || n.a != a || n.b != b ||
+      n.cval != cval || n.name != name || n.kids.size() != kids.size())
+    return false;
+  for (size_t i = 0; i < kids.size(); ++i)
+    if (n.kids[i] != kids[i].node()) return false;
+  return true;
+}
+
+}  // namespace
+
+Context::Context() = default;
+Context::~Context() = default;
+
+Expr Context::intern(Kind kind, Sort sort, std::span<const Expr> kids,
+                     uint32_t a, uint32_t b, uint64_t cval,
+                     const std::string& name) {
+  for (const Expr& k : kids)
+    require(!k.isNull() && k.node()->ctx == this,
+            "expression children must be non-null and from the same Context");
+  const uint64_t h = nodeHash(kind, sort, kids, a, b, cval, name);
+  auto& bucket = buckets_[h];
+  for (const Node* n : bucket)
+    if (nodeEquals(*n, kind, sort, kids, a, b, cval, name)) return Expr(n);
+
+  Node& n = nodes_.emplace_back();
+  n.kind = kind;
+  n.sort = sort;
+  n.a = a;
+  n.b = b;
+  n.cval = cval;
+  n.id = static_cast<uint32_t>(nodes_.size() - 1);
+  n.ctx = this;
+  n.name = name;
+  n.kids.reserve(kids.size());
+  for (const Expr& k : kids) n.kids.push_back(k.node());
+  bucket.push_back(&n);
+  return Expr(&n);
+}
+
+Expr Context::boolVal(bool v) {
+  return intern(Kind::BoolConst, Sort::boolSort(), {}, v ? 1 : 0);
+}
+
+Expr Context::bvVal(uint64_t value, uint32_t width) {
+  return intern(Kind::BvConst, Sort::bv(width), {}, 0, 0,
+                maskToWidth(value, width));
+}
+
+Expr Context::var(const std::string& name, Sort sort) {
+  require(!name.empty(), "variable name must be non-empty");
+  auto it = varsByName_.find(name);
+  if (it != varsByName_.end()) {
+    require(it->second->sort == sort,
+            "variable '" + name + "' re-declared at a different sort");
+    return Expr(it->second);
+  }
+  Expr v = intern(Kind::Var, sort, {}, 0, 0, 0, name);
+  varsByName_.emplace(name, v.node());
+  return v;
+}
+
+Expr Context::freshVar(const std::string& hint, Sort sort) {
+  for (;;) {
+    std::string name = hint + "!" + std::to_string(freshCounter_++);
+    if (!varsByName_.contains(name)) return var(name, sort);
+  }
+}
+
+// ---- Builders: validate, simplify, intern ----------------------------------
+
+namespace {
+void requireBool(Expr x) {
+  require(x.sort().isBool(), "expected Bool operand");
+}
+void requireBvPair(Expr x, Expr y) {
+  require(x.sort().isBv() && x.sort() == y.sort(),
+          "expected equal-width bit-vector operands");
+}
+}  // namespace
+
+Expr Context::mkNot(Expr x) {
+  requireBool(x);
+  return detail::simplifyOrIntern(*this, Kind::Not, Sort::boolSort(), {x});
+}
+
+Expr Context::mkAnd(Expr x, Expr y) {
+  requireBool(x);
+  requireBool(y);
+  return detail::simplifyOrIntern(*this, Kind::And, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkAnd(std::span<const Expr> xs) {
+  Expr acc = top();
+  for (Expr x : xs) acc = mkAnd(acc, x);
+  return acc;
+}
+
+Expr Context::mkOr(Expr x, Expr y) {
+  requireBool(x);
+  requireBool(y);
+  return detail::simplifyOrIntern(*this, Kind::Or, Sort::boolSort(), {x, y});
+}
+
+Expr Context::mkOr(std::span<const Expr> xs) {
+  Expr acc = bot();
+  for (Expr x : xs) acc = mkOr(acc, x);
+  return acc;
+}
+
+Expr Context::mkXor(Expr x, Expr y) {
+  requireBool(x);
+  requireBool(y);
+  return detail::simplifyOrIntern(*this, Kind::Xor, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkImplies(Expr x, Expr y) {
+  requireBool(x);
+  requireBool(y);
+  return detail::simplifyOrIntern(*this, Kind::Implies, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkEq(Expr x, Expr y) {
+  require(x.sort() == y.sort(), "Eq operands must have identical sorts");
+  return detail::simplifyOrIntern(*this, Kind::Eq, Sort::boolSort(), {x, y});
+}
+
+Expr Context::mkIte(Expr c, Expr t, Expr e) {
+  requireBool(c);
+  require(t.sort() == e.sort(), "Ite branches must have identical sorts");
+  return detail::simplifyOrIntern(*this, Kind::Ite, t.sort(), {c, t, e});
+}
+
+Expr Context::mkBvNeg(Expr x) {
+  require(x.sort().isBv(), "BvNeg expects a bit-vector");
+  return detail::simplifyOrIntern(*this, Kind::BvNeg, x.sort(), {x});
+}
+
+Expr Context::mkBvNot(Expr x) {
+  require(x.sort().isBv(), "BvNot expects a bit-vector");
+  return detail::simplifyOrIntern(*this, Kind::BvNot, x.sort(), {x});
+}
+
+Expr Context::mkBvBin(Kind k, Expr x, Expr y) {
+  requireBvPair(x, y);
+  return detail::simplifyOrIntern(*this, k, x.sort(), {x, y});
+}
+
+Expr Context::mkUlt(Expr x, Expr y) {
+  requireBvPair(x, y);
+  return detail::simplifyOrIntern(*this, Kind::BvUlt, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkUle(Expr x, Expr y) {
+  requireBvPair(x, y);
+  return detail::simplifyOrIntern(*this, Kind::BvUle, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkSlt(Expr x, Expr y) {
+  requireBvPair(x, y);
+  return detail::simplifyOrIntern(*this, Kind::BvSlt, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkSle(Expr x, Expr y) {
+  requireBvPair(x, y);
+  return detail::simplifyOrIntern(*this, Kind::BvSle, Sort::boolSort(),
+                                  {x, y});
+}
+
+Expr Context::mkConcat(Expr hi, Expr lo) {
+  require(hi.sort().isBv() && lo.sort().isBv(),
+          "Concat expects bit-vector operands");
+  const uint32_t w = hi.sort().width() + lo.sort().width();
+  require(w <= 64, "Concat result exceeds 64 bits");
+  return detail::simplifyOrIntern(*this, Kind::BvConcat, Sort::bv(w),
+                                  {hi, lo});
+}
+
+Expr Context::mkExtract(Expr x, uint32_t hi, uint32_t lo) {
+  require(x.sort().isBv(), "Extract expects a bit-vector");
+  require(hi >= lo && hi < x.sort().width(), "Extract bounds out of range");
+  return detail::simplifyOrIntern(*this, Kind::BvExtract,
+                                  Sort::bv(hi - lo + 1), {x}, hi, lo);
+}
+
+Expr Context::mkZeroExt(Expr x, uint32_t by) {
+  require(x.sort().isBv(), "ZeroExt expects a bit-vector");
+  if (by == 0) return x;
+  require(x.sort().width() + by <= 64, "ZeroExt result exceeds 64 bits");
+  return detail::simplifyOrIntern(*this, Kind::BvZeroExt,
+                                  Sort::bv(x.sort().width() + by), {x}, by);
+}
+
+Expr Context::mkSignExt(Expr x, uint32_t by) {
+  require(x.sort().isBv(), "SignExt expects a bit-vector");
+  if (by == 0) return x;
+  require(x.sort().width() + by <= 64, "SignExt result exceeds 64 bits");
+  return detail::simplifyOrIntern(*this, Kind::BvSignExt,
+                                  Sort::bv(x.sort().width() + by), {x}, by);
+}
+
+Expr Context::mkResize(Expr x, uint32_t width, bool signExtend) {
+  const uint32_t w = x.sort().width();
+  if (width == w) return x;
+  if (width < w) return mkExtract(x, width - 1, 0);
+  return signExtend ? mkSignExt(x, width - w) : mkZeroExt(x, width - w);
+}
+
+Expr Context::mkSelect(Expr array, Expr index) {
+  require(array.sort().isArray(), "Select expects an array");
+  require(index.sort() == array.sort().indexSort(),
+          "Select index width mismatch");
+  return detail::simplifyOrIntern(*this, Kind::Select,
+                                  array.sort().elemSort(), {array, index});
+}
+
+Expr Context::mkStore(Expr array, Expr index, Expr value) {
+  require(array.sort().isArray(), "Store expects an array");
+  require(index.sort() == array.sort().indexSort(),
+          "Store index width mismatch");
+  require(value.sort() == array.sort().elemSort(),
+          "Store value width mismatch");
+  return detail::simplifyOrIntern(*this, Kind::Store, array.sort(),
+                                  {array, index, value});
+}
+
+Expr Context::mkForall(std::span<const Expr> bound, Expr body) {
+  require(!bound.empty(), "Forall needs at least one bound variable");
+  requireBool(body);
+  std::vector<Expr> kids(bound.begin(), bound.end());
+  for (Expr v : kids) require(v.isVar(), "quantifier binds non-variable");
+  kids.push_back(body);
+  if (body.isConst()) return body;  // ∀x. true == true, ∀x. false == false
+  return intern(Kind::Forall, Sort::boolSort(), kids,
+                static_cast<uint32_t>(bound.size()));
+}
+
+Expr Context::mkExists(std::span<const Expr> bound, Expr body) {
+  require(!bound.empty(), "Exists needs at least one bound variable");
+  requireBool(body);
+  std::vector<Expr> kids(bound.begin(), bound.end());
+  for (Expr v : kids) require(v.isVar(), "quantifier binds non-variable");
+  kids.push_back(body);
+  if (body.isConst()) return body;
+  return intern(Kind::Exists, Sort::boolSort(), kids,
+                static_cast<uint32_t>(bound.size()));
+}
+
+// ---- Expr member helpers ----------------------------------------------------
+
+Context& Expr::ctx() const {
+  require(n_ != nullptr, "null Expr");
+  return *n_->ctx;
+}
+
+uint64_t Expr::bvValue() const {
+  require(isBvConst(), "bvValue on non-constant");
+  return n_->cval;
+}
+
+const std::string& Expr::varName() const {
+  require(isVar(), "varName on non-variable");
+  return n_->name;
+}
+
+// ---- Operator sugar ---------------------------------------------------------
+
+Expr operator!(Expr x) { return x.ctx().mkNot(x); }
+Expr operator&&(Expr x, Expr y) { return x.ctx().mkAnd(x, y); }
+Expr operator||(Expr x, Expr y) { return x.ctx().mkOr(x, y); }
+Expr operator+(Expr x, Expr y) { return x.ctx().mkAdd(x, y); }
+Expr operator-(Expr x, Expr y) { return x.ctx().mkSub(x, y); }
+Expr operator*(Expr x, Expr y) { return x.ctx().mkMul(x, y); }
+Expr operator-(Expr x) { return x.ctx().mkBvNeg(x); }
+Expr operator~(Expr x) { return x.ctx().mkBvNot(x); }
+Expr operator&(Expr x, Expr y) { return x.ctx().mkBvAnd(x, y); }
+Expr operator|(Expr x, Expr y) { return x.ctx().mkBvOr(x, y); }
+Expr operator^(Expr x, Expr y) { return x.ctx().mkBvXor(x, y); }
+Expr operator<<(Expr x, Expr y) { return x.ctx().mkShl(x, y); }
+Expr operator>>(Expr x, Expr y) { return x.ctx().mkLShr(x, y); }
+
+bool isCommutative(Kind k) {
+  switch (k) {
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Xor:
+    case Kind::Eq:
+    case Kind::BvAdd:
+    case Kind::BvMul:
+    case Kind::BvAnd:
+    case Kind::BvOr:
+    case Kind::BvXor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::BoolConst: return "bool";
+    case Kind::BvConst: return "bv";
+    case Kind::Var: return "var";
+    case Kind::Not: return "not";
+    case Kind::And: return "and";
+    case Kind::Or: return "or";
+    case Kind::Xor: return "xor";
+    case Kind::Implies: return "=>";
+    case Kind::Eq: return "=";
+    case Kind::Ite: return "ite";
+    case Kind::BvNeg: return "bvneg";
+    case Kind::BvNot: return "bvnot";
+    case Kind::BvAdd: return "bvadd";
+    case Kind::BvSub: return "bvsub";
+    case Kind::BvMul: return "bvmul";
+    case Kind::BvUDiv: return "bvudiv";
+    case Kind::BvURem: return "bvurem";
+    case Kind::BvSDiv: return "bvsdiv";
+    case Kind::BvSRem: return "bvsrem";
+    case Kind::BvAnd: return "bvand";
+    case Kind::BvOr: return "bvor";
+    case Kind::BvXor: return "bvxor";
+    case Kind::BvShl: return "bvshl";
+    case Kind::BvLShr: return "bvlshr";
+    case Kind::BvAShr: return "bvashr";
+    case Kind::BvUlt: return "bvult";
+    case Kind::BvUle: return "bvule";
+    case Kind::BvSlt: return "bvslt";
+    case Kind::BvSle: return "bvsle";
+    case Kind::BvConcat: return "concat";
+    case Kind::BvExtract: return "extract";
+    case Kind::BvZeroExt: return "zero_extend";
+    case Kind::BvSignExt: return "sign_extend";
+    case Kind::Select: return "select";
+    case Kind::Store: return "store";
+    case Kind::Forall: return "forall";
+    case Kind::Exists: return "exists";
+  }
+  return "?";
+}
+
+}  // namespace pugpara::expr

@@ -1,0 +1,126 @@
+// Context: owner and hash-consing factory for expression nodes.
+//
+// All builder methods validate sorts, apply local simplification rules
+// (see simplify.cpp) and intern the result, so structurally equal
+// expressions are pointer-equal.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+class Context {
+ public:
+  Context();
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // ---- Leaves -------------------------------------------------------------
+  Expr boolVal(bool v);
+  Expr top() { return boolVal(true); }
+  Expr bot() { return boolVal(false); }
+  /// Bit-vector constant; `value` is masked to `width` bits.
+  Expr bvVal(uint64_t value, uint32_t width);
+  /// Free variable. The same (name, sort) pair always returns the same node;
+  /// reusing a name at a different sort is a PugError.
+  Expr var(const std::string& name, Sort sort);
+  /// Fresh variable: name is `hint` + a unique numeric suffix.
+  Expr freshVar(const std::string& hint, Sort sort);
+
+  // ---- Boolean ------------------------------------------------------------
+  Expr mkNot(Expr x);
+  Expr mkAnd(Expr x, Expr y);
+  Expr mkAnd(std::span<const Expr> xs);
+  Expr mkOr(Expr x, Expr y);
+  Expr mkOr(std::span<const Expr> xs);
+  Expr mkXor(Expr x, Expr y);
+  Expr mkImplies(Expr x, Expr y);
+
+  // ---- Polymorphic ----------------------------------------------------------
+  Expr mkEq(Expr x, Expr y);
+  Expr mkNe(Expr x, Expr y) { return mkNot(mkEq(x, y)); }
+  Expr mkIte(Expr c, Expr t, Expr e);
+
+  // ---- Bit-vectors ----------------------------------------------------------
+  Expr mkBvNeg(Expr x);
+  Expr mkBvNot(Expr x);
+  Expr mkBvBin(Kind k, Expr x, Expr y);  // generic same-width binary op
+  Expr mkAdd(Expr x, Expr y) { return mkBvBin(Kind::BvAdd, x, y); }
+  Expr mkSub(Expr x, Expr y) { return mkBvBin(Kind::BvSub, x, y); }
+  Expr mkMul(Expr x, Expr y) { return mkBvBin(Kind::BvMul, x, y); }
+  Expr mkUDiv(Expr x, Expr y) { return mkBvBin(Kind::BvUDiv, x, y); }
+  Expr mkURem(Expr x, Expr y) { return mkBvBin(Kind::BvURem, x, y); }
+  Expr mkSDiv(Expr x, Expr y) { return mkBvBin(Kind::BvSDiv, x, y); }
+  Expr mkSRem(Expr x, Expr y) { return mkBvBin(Kind::BvSRem, x, y); }
+  Expr mkBvAnd(Expr x, Expr y) { return mkBvBin(Kind::BvAnd, x, y); }
+  Expr mkBvOr(Expr x, Expr y) { return mkBvBin(Kind::BvOr, x, y); }
+  Expr mkBvXor(Expr x, Expr y) { return mkBvBin(Kind::BvXor, x, y); }
+  Expr mkShl(Expr x, Expr y) { return mkBvBin(Kind::BvShl, x, y); }
+  Expr mkLShr(Expr x, Expr y) { return mkBvBin(Kind::BvLShr, x, y); }
+  Expr mkAShr(Expr x, Expr y) { return mkBvBin(Kind::BvAShr, x, y); }
+
+  Expr mkUlt(Expr x, Expr y);
+  Expr mkUle(Expr x, Expr y);
+  Expr mkUgt(Expr x, Expr y) { return mkUlt(y, x); }
+  Expr mkUge(Expr x, Expr y) { return mkUle(y, x); }
+  Expr mkSlt(Expr x, Expr y);
+  Expr mkSle(Expr x, Expr y);
+  Expr mkSgt(Expr x, Expr y) { return mkSlt(y, x); }
+  Expr mkSge(Expr x, Expr y) { return mkSle(y, x); }
+
+  Expr mkConcat(Expr hi, Expr lo);
+  /// Bits [hi..lo] inclusive, 0-based from the LSB.
+  Expr mkExtract(Expr x, uint32_t hi, uint32_t lo);
+  Expr mkZeroExt(Expr x, uint32_t by);
+  Expr mkSignExt(Expr x, uint32_t by);
+  /// Zero- or sign-extend / truncate `x` to exactly `width` bits.
+  Expr mkResize(Expr x, uint32_t width, bool signExtend);
+
+  // ---- Arrays ---------------------------------------------------------------
+  Expr mkSelect(Expr array, Expr index);
+  Expr mkStore(Expr array, Expr index, Expr value);
+
+  // ---- Quantifiers ----------------------------------------------------------
+  Expr mkForall(std::span<const Expr> bound, Expr body);
+  Expr mkExists(std::span<const Expr> bound, Expr body);
+
+  /// Number of live nodes (for tests and the micro bench).
+  [[nodiscard]] size_t nodeCount() const { return nodes_.size(); }
+
+  /// Interns a fully-validated node; used by the simplifier when it decides
+  /// no rewrite applies. Not part of the public building API.
+  Expr intern(Kind kind, Sort sort, std::span<const Expr> kids, uint32_t a = 0,
+              uint32_t b = 0, uint64_t cval = 0, const std::string& name = {});
+
+ private:
+  struct Key;
+  struct KeyHash;
+  struct KeyEq;
+
+  std::deque<Node> nodes_;  // stable addresses
+  std::unordered_map<uint64_t, std::vector<const Node*>> buckets_;
+  std::unordered_map<std::string, const Node*> varsByName_;
+  uint64_t freshCounter_ = 0;
+};
+
+/// Masks `v` to the low `width` bits.
+[[nodiscard]] inline uint64_t maskToWidth(uint64_t v, uint32_t width) {
+  return width >= 64 ? v : (v & ((uint64_t{1} << width) - 1));
+}
+
+/// Sign-extends the `width`-bit value `v` to int64.
+[[nodiscard]] inline int64_t toSigned(uint64_t v, uint32_t width) {
+  if (width >= 64) return static_cast<int64_t>(v);
+  const uint64_t sign = uint64_t{1} << (width - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+}  // namespace pugpara::expr

@@ -1,0 +1,149 @@
+#include "expr/eval.h"
+
+#include <unordered_map>
+
+#include "expr/bv_ops.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::expr {
+
+void Env::bind(Expr var, Value value) {
+  require(var.isVar(), "Env::bind expects a variable");
+  map_[var.node()] = std::move(value);
+}
+
+const Value* Env::lookup(Expr var) const {
+  auto it = map_.find(var.node());
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Env& env, bool requireBound)
+      : env_(env), requireBound_(requireBound) {}
+
+  Value eval(Expr e) {
+    auto it = memo_.find(e.node());
+    if (it != memo_.end()) return it->second;
+    Value v = compute(e);
+    memo_.emplace(e.node(), v);
+    return v;
+  }
+
+ private:
+  Value compute(Expr e) {
+    switch (e.kind()) {
+      case Kind::BoolConst: return Value::ofBool(e.isTrue());
+      case Kind::BvConst: return Value::ofBv(e.bvValue());
+      case Kind::Var: {
+        if (const Value* v = env_.lookup(e)) return *v;
+        require(!requireBound_, "unbound variable '" + e.varName() +
+                                    "' during evaluation");
+        if (e.sort().isArray()) return Value::ofArray(ArrayValue{});
+        return Value::ofBv(0);
+      }
+      case Kind::Not: return Value::ofBool(!eval(e.kid(0)).asBool());
+      case Kind::And:
+        return Value::ofBool(eval(e.kid(0)).asBool() &&
+                             eval(e.kid(1)).asBool());
+      case Kind::Or:
+        return Value::ofBool(eval(e.kid(0)).asBool() ||
+                             eval(e.kid(1)).asBool());
+      case Kind::Xor:
+        return Value::ofBool(eval(e.kid(0)).asBool() !=
+                             eval(e.kid(1)).asBool());
+      case Kind::Implies:
+        return Value::ofBool(!eval(e.kid(0)).asBool() ||
+                             eval(e.kid(1)).asBool());
+      case Kind::Eq: {
+        Value x = eval(e.kid(0)), y = eval(e.kid(1));
+        return Value::ofBool(x == y);
+      }
+      case Kind::Ite:
+        return eval(e.kid(0)).asBool() ? eval(e.kid(1)) : eval(e.kid(2));
+      case Kind::BvNeg:
+        return Value::ofBv(
+            maskToWidth(~eval(e.kid(0)).asBv() + 1, e.sort().width()));
+      case Kind::BvNot:
+        return Value::ofBv(
+            maskToWidth(~eval(e.kid(0)).asBv(), e.sort().width()));
+      case Kind::BvAdd:
+      case Kind::BvSub:
+      case Kind::BvMul:
+      case Kind::BvUDiv:
+      case Kind::BvURem:
+      case Kind::BvSDiv:
+      case Kind::BvSRem:
+      case Kind::BvAnd:
+      case Kind::BvOr:
+      case Kind::BvXor:
+      case Kind::BvShl:
+      case Kind::BvLShr:
+      case Kind::BvAShr:
+        return Value::ofBv(foldBvBin(e.kind(), eval(e.kid(0)).asBv(),
+                                     eval(e.kid(1)).asBv(), e.sort().width()));
+      case Kind::BvUlt:
+      case Kind::BvUle:
+      case Kind::BvSlt:
+      case Kind::BvSle:
+        return Value::ofBool(foldBvCmp(e.kind(), eval(e.kid(0)).asBv(),
+                                       eval(e.kid(1)).asBv(),
+                                       e.kid(0).sort().width()));
+      case Kind::BvConcat: {
+        const uint64_t hi = eval(e.kid(0)).asBv();
+        const uint64_t lo = eval(e.kid(1)).asBv();
+        return Value::ofBv(
+            maskToWidth((hi << e.kid(1).sort().width()) | lo,
+                        e.sort().width()));
+      }
+      case Kind::BvExtract:
+        return Value::ofBv(maskToWidth(
+            eval(e.kid(0)).asBv() >> e.extractLo(), e.sort().width()));
+      case Kind::BvZeroExt:
+        return Value::ofBv(eval(e.kid(0)).asBv());
+      case Kind::BvSignExt:
+        return Value::ofBv(maskToWidth(
+            static_cast<uint64_t>(
+                toSigned(eval(e.kid(0)).asBv(), e.kid(0).sort().width())),
+            e.sort().width()));
+      case Kind::Select: {
+        Value a = eval(e.kid(0));
+        return Value::ofBv(a.asArray().get(eval(e.kid(1)).asBv()));
+      }
+      case Kind::Store: {
+        Value a = eval(e.kid(0));
+        ArrayValue out = a.asArray();
+        out.set(eval(e.kid(1)).asBv(), eval(e.kid(2)).asBv());
+        return Value::ofArray(std::move(out));
+      }
+      case Kind::Forall:
+      case Kind::Exists:
+        throw PugError("cannot concretely evaluate a quantified formula");
+    }
+    throw PugError("evaluate: unhandled expression kind");
+  }
+
+  const Env& env_;
+  bool requireBound_;
+  std::unordered_map<const Node*, Value> memo_;
+};
+
+}  // namespace
+
+Value evaluate(Expr e, const Env& env, bool requireBound) {
+  return Evaluator(env, requireBound).eval(e);
+}
+
+bool evalBool(Expr e, const Env& env) {
+  require(e.sort().isBool(), "evalBool on non-Bool expression");
+  return evaluate(e, env).asBool();
+}
+
+uint64_t evalBv(Expr e, const Env& env) {
+  require(e.sort().isBv(), "evalBv on non-BitVec expression");
+  return evaluate(e, env).asBv();
+}
+
+}  // namespace pugpara::expr

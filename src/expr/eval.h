@@ -1,0 +1,82 @@
+// Concrete evaluation of expressions under an assignment to free variables.
+// Used to validate solver models, to cross-check the symbolic encoders
+// against the concrete GPU VM, and in property tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <variant>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+/// Concrete value of an array-sorted expression: a default element plus
+/// explicit entries. Indices/elements are width-masked bit-vector values.
+struct ArrayValue {
+  uint64_t defaultValue = 0;
+  std::map<uint64_t, uint64_t> elems;
+
+  [[nodiscard]] uint64_t get(uint64_t index) const {
+    auto it = elems.find(index);
+    return it == elems.end() ? defaultValue : it->second;
+  }
+  void set(uint64_t index, uint64_t value) { elems[index] = value; }
+  friend bool operator==(const ArrayValue&, const ArrayValue&) = default;
+};
+
+/// A concrete value of any sort. Bools are stored as 0/1 bit-vectors.
+class Value {
+ public:
+  Value() : v_(uint64_t{0}) {}
+  static Value ofBool(bool b) { return Value(uint64_t{b ? 1u : 0u}); }
+  static Value ofBv(uint64_t x) { return Value(x); }
+  static Value ofArray(ArrayValue a) { return Value(std::move(a)); }
+
+  [[nodiscard]] bool isArray() const {
+    return std::holds_alternative<ArrayValue>(v_);
+  }
+  [[nodiscard]] bool asBool() const { return scalar() != 0; }
+  [[nodiscard]] uint64_t asBv() const { return scalar(); }
+  [[nodiscard]] const ArrayValue& asArray() const {
+    return std::get<ArrayValue>(v_);
+  }
+  [[nodiscard]] ArrayValue& asArray() { return std::get<ArrayValue>(v_); }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  explicit Value(uint64_t x) : v_(x) {}
+  explicit Value(ArrayValue a) : v_(std::move(a)) {}
+  [[nodiscard]] uint64_t scalar() const { return std::get<uint64_t>(v_); }
+
+  std::variant<uint64_t, ArrayValue> v_;
+};
+
+/// Assignment of concrete values to free variables.
+class Env {
+ public:
+  void bind(Expr var, Value value);
+  void bindBv(Expr var, uint64_t value) { bind(var, Value::ofBv(value)); }
+  void bindBool(Expr var, bool value) { bind(var, Value::ofBool(value)); }
+
+  [[nodiscard]] const Value* lookup(Expr var) const;
+
+ private:
+  std::unordered_map<const Node*, Value> map_;
+};
+
+/// Evaluates `e` under `env`. Unbound variables evaluate to zero /
+/// all-zero arrays (convenient for model completion); pass
+/// `requireBound = true` to make unbound variables a PugError instead.
+/// Quantifiers are not evaluatable and raise PugError.
+[[nodiscard]] Value evaluate(Expr e, const Env& env, bool requireBound = false);
+
+/// Convenience: evaluates a Bool-sorted expression.
+[[nodiscard]] bool evalBool(Expr e, const Env& env);
+/// Convenience: evaluates a BitVec-sorted expression.
+[[nodiscard]] uint64_t evalBv(Expr e, const Env& env);
+
+}  // namespace pugpara::expr

@@ -1,0 +1,183 @@
+// Hash-consed symbolic expression DAG over Bool / BitVec / Array sorts.
+//
+// Nodes are immutable, owned by a Context, and unique up to structural
+// equality: two structurally identical expressions built in the same Context
+// compare equal by pointer. Expr is a cheap handle (one pointer).
+//
+// Bit-vector semantics follow SMT-LIB QF_ABV exactly (including division by
+// zero), so that the Z3 backend and the from-scratch MiniSMT backend agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "expr/sort.h"
+
+namespace pugpara::expr {
+
+class Context;
+
+enum class Kind : uint8_t {
+  // Leaves
+  BoolConst,  // value in `a` (0/1)
+  BvConst,    // value in `cval`, width from sort
+  Var,        // named free variable, any sort
+
+  // Boolean connectives
+  Not,
+  And,
+  Or,
+  Xor,
+  Implies,
+
+  // Polymorphic
+  Eq,   // both children same sort; result Bool
+  Ite,  // children: cond(Bool), then, else (same sort)
+
+  // Bit-vector arithmetic / bitwise (children same width)
+  BvNeg,
+  BvNot,
+  BvAdd,
+  BvSub,
+  BvMul,
+  BvUDiv,
+  BvURem,
+  BvSDiv,
+  BvSRem,
+  BvAnd,
+  BvOr,
+  BvXor,
+  BvShl,
+  BvLShr,
+  BvAShr,
+
+  // Comparisons (result Bool)
+  BvUlt,
+  BvUle,
+  BvSlt,
+  BvSle,
+
+  // Structural
+  BvConcat,   // width = sum of children widths
+  BvExtract,  // bits [a_ .. b_] (hi..lo) of the single child
+  BvZeroExt,  // extend child by `a` bits
+  BvSignExt,  // extend child by `a` bits
+
+  // Arrays
+  Select,  // (array, index) -> element
+  Store,   // (array, index, value) -> array
+
+  // Quantifiers: children = [boundVar..., body]; `a` = number of bound vars.
+  // MiniSMT rejects these (returns Unknown) — mirroring the paper's point
+  // that quantified formulas defeat the solvers of the day; the Z3 backend
+  // handles them natively.
+  Forall,
+  Exists,
+};
+
+/// True for kinds whose operands commute (used by the simplifier to
+/// canonicalize operand order).
+[[nodiscard]] bool isCommutative(Kind k);
+
+/// Human-readable operator name (SMT-LIB style).
+[[nodiscard]] const char* kindName(Kind k);
+
+/// One immutable DAG node. Created only by Context.
+struct Node {
+  Kind kind;
+  Sort sort;
+  uint32_t a = 0;        // BoolConst value / extract hi / extend amount /
+                         // quantifier bound count
+  uint32_t b = 0;        // extract lo
+  uint64_t cval = 0;     // BvConst value (masked to width)
+  uint32_t id = 0;       // creation index within the Context (stable order)
+  Context* ctx = nullptr;
+  std::string name;      // Var name
+  std::vector<const Node*> kids;
+};
+
+/// Lightweight handle to a Node. A default-constructed Expr is "null" and
+/// must not be used except for comparisons / isNull().
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(const Node* n) : n_(n) {}
+
+  [[nodiscard]] bool isNull() const { return n_ == nullptr; }
+  [[nodiscard]] const Node* node() const { return n_; }
+  [[nodiscard]] Context& ctx() const;
+
+  [[nodiscard]] Kind kind() const { return n_->kind; }
+  [[nodiscard]] Sort sort() const { return n_->sort; }
+  [[nodiscard]] uint32_t id() const { return n_->id; }
+
+  [[nodiscard]] size_t arity() const { return n_->kids.size(); }
+  [[nodiscard]] Expr kid(size_t i) const { return Expr(n_->kids[i]); }
+
+  [[nodiscard]] bool isVar() const { return n_->kind == Kind::Var; }
+  [[nodiscard]] bool isConst() const {
+    return n_->kind == Kind::BoolConst || n_->kind == Kind::BvConst;
+  }
+  [[nodiscard]] bool isBoolConst() const { return n_->kind == Kind::BoolConst; }
+  [[nodiscard]] bool isBvConst() const { return n_->kind == Kind::BvConst; }
+  [[nodiscard]] bool isTrue() const {
+    return isBoolConst() && n_->a == 1;
+  }
+  [[nodiscard]] bool isFalse() const {
+    return isBoolConst() && n_->a == 0;
+  }
+
+  /// Value of a BvConst (masked to width).
+  [[nodiscard]] uint64_t bvValue() const;
+  /// Name of a Var.
+  [[nodiscard]] const std::string& varName() const;
+
+  /// Extract bounds; extend amounts.
+  [[nodiscard]] uint32_t extractHi() const { return n_->a; }
+  [[nodiscard]] uint32_t extractLo() const { return n_->b; }
+  [[nodiscard]] uint32_t extendBy() const { return n_->a; }
+  /// Number of bound variables of a quantifier.
+  [[nodiscard]] uint32_t boundCount() const { return n_->a; }
+
+  /// Pointer identity == structural equality (hash consing invariant).
+  friend bool operator==(const Expr& x, const Expr& y) { return x.n_ == y.n_; }
+  friend bool operator!=(const Expr& x, const Expr& y) { return x.n_ != y.n_; }
+  /// Stable ordering by creation id (for canonical operand order).
+  friend bool operator<(const Expr& x, const Expr& y) {
+    return x.n_->id < y.n_->id;
+  }
+
+  /// Short infix rendering for debugging and reports (see print.h for the
+  /// full SMT-LIB printer).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  const Node* n_ = nullptr;
+};
+
+struct ExprHash {
+  size_t operator()(const Expr& e) const {
+    return std::hash<const Node*>()(e.node());
+  }
+};
+
+// ---- Operator sugar. All of these dispatch into the owning Context and
+// apply the simplifier; mixing expressions from different Contexts is a
+// PugError.
+Expr operator!(Expr x);                // Bool not
+Expr operator&&(Expr x, Expr y);       // Bool and
+Expr operator||(Expr x, Expr y);       // Bool or
+Expr operator+(Expr x, Expr y);        // BvAdd
+Expr operator-(Expr x, Expr y);        // BvSub
+Expr operator*(Expr x, Expr y);        // BvMul
+Expr operator-(Expr x);                // BvNeg
+Expr operator~(Expr x);                // BvNot
+Expr operator&(Expr x, Expr y);        // BvAnd
+Expr operator|(Expr x, Expr y);        // BvOr
+Expr operator^(Expr x, Expr y);        // BvXor
+Expr operator<<(Expr x, Expr y);       // BvShl
+Expr operator>>(Expr x, Expr y);       // BvLShr (logical)
+
+}  // namespace pugpara::expr

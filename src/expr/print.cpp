@@ -1,0 +1,209 @@
+#include "expr/print.h"
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/walk.h"
+
+namespace pugpara::expr {
+
+namespace {
+
+const char* infixOp(Kind k) {
+  switch (k) {
+    case Kind::And: return " && ";
+    case Kind::Or: return " || ";
+    case Kind::Xor: return " ^^ ";
+    case Kind::Implies: return " => ";
+    case Kind::Eq: return " == ";
+    case Kind::BvAdd: return " + ";
+    case Kind::BvSub: return " - ";
+    case Kind::BvMul: return " * ";
+    case Kind::BvUDiv: return " /u ";
+    case Kind::BvURem: return " %u ";
+    case Kind::BvSDiv: return " / ";
+    case Kind::BvSRem: return " % ";
+    case Kind::BvAnd: return " & ";
+    case Kind::BvOr: return " | ";
+    case Kind::BvXor: return " ^ ";
+    case Kind::BvShl: return " << ";
+    case Kind::BvLShr: return " >> ";
+    case Kind::BvAShr: return " >>a ";
+    case Kind::BvUlt: return " <u ";
+    case Kind::BvUle: return " <=u ";
+    case Kind::BvSlt: return " < ";
+    case Kind::BvSle: return " <= ";
+    default: return nullptr;
+  }
+}
+
+void infix(std::ostream& os, Expr e) {
+  switch (e.kind()) {
+    case Kind::BoolConst:
+      os << (e.isTrue() ? "true" : "false");
+      return;
+    case Kind::BvConst:
+      os << e.bvValue();
+      return;
+    case Kind::Var:
+      os << e.varName();
+      return;
+    case Kind::Not:
+      os << '!';
+      infix(os, e.kid(0));
+      return;
+    case Kind::BvNeg:
+      os << '-';
+      infix(os, e.kid(0));
+      return;
+    case Kind::BvNot:
+      os << '~';
+      infix(os, e.kid(0));
+      return;
+    case Kind::Ite:
+      os << "ite(";
+      infix(os, e.kid(0));
+      os << ", ";
+      infix(os, e.kid(1));
+      os << ", ";
+      infix(os, e.kid(2));
+      os << ')';
+      return;
+    case Kind::Select:
+      infix(os, e.kid(0));
+      os << '[';
+      infix(os, e.kid(1));
+      os << ']';
+      return;
+    case Kind::Store:
+      infix(os, e.kid(0));
+      os << "[[";
+      infix(os, e.kid(1));
+      os << " := ";
+      infix(os, e.kid(2));
+      os << "]]";
+      return;
+    case Kind::BvExtract:
+      infix(os, e.kid(0));
+      os << '[' << e.extractHi() << ':' << e.extractLo() << ']';
+      return;
+    case Kind::BvZeroExt:
+      os << "zext(";
+      infix(os, e.kid(0));
+      os << ", " << e.extendBy() << ')';
+      return;
+    case Kind::BvSignExt:
+      os << "sext(";
+      infix(os, e.kid(0));
+      os << ", " << e.extendBy() << ')';
+      return;
+    case Kind::BvConcat:
+      os << "concat(";
+      infix(os, e.kid(0));
+      os << ", ";
+      infix(os, e.kid(1));
+      os << ')';
+      return;
+    case Kind::Forall:
+    case Kind::Exists: {
+      os << (e.kind() == Kind::Forall ? "forall " : "exists ");
+      for (uint32_t i = 0; i < e.boundCount(); ++i) {
+        if (i) os << ", ";
+        os << e.kid(i).varName();
+      }
+      os << ". ";
+      infix(os, e.kid(e.boundCount()));
+      return;
+    }
+    default: {
+      const char* op = infixOp(e.kind());
+      os << '(';
+      infix(os, e.kid(0));
+      os << (op ? op : " ? ");
+      infix(os, e.kid(1));
+      os << ')';
+      return;
+    }
+  }
+}
+
+void sexpr(std::ostream& os, Expr e) {
+  switch (e.kind()) {
+    case Kind::BoolConst:
+      os << (e.isTrue() ? "true" : "false");
+      return;
+    case Kind::BvConst:
+      os << "(_ bv" << e.bvValue() << ' ' << e.sort().width() << ')';
+      return;
+    case Kind::Var:
+      os << e.varName();
+      return;
+    case Kind::BvExtract:
+      os << "((_ extract " << e.extractHi() << ' ' << e.extractLo() << ") ";
+      sexpr(os, e.kid(0));
+      os << ')';
+      return;
+    case Kind::BvZeroExt:
+    case Kind::BvSignExt:
+      os << "((_ " << kindName(e.kind()) << ' ' << e.extendBy() << ") ";
+      sexpr(os, e.kid(0));
+      os << ')';
+      return;
+    case Kind::Forall:
+    case Kind::Exists: {
+      os << '(' << kindName(e.kind()) << " (";
+      for (uint32_t i = 0; i < e.boundCount(); ++i) {
+        if (i) os << ' ';
+        os << '(' << e.kid(i).varName() << ' ' << e.kid(i).sort().str() << ')';
+      }
+      os << ") ";
+      sexpr(os, e.kid(e.boundCount()));
+      os << ')';
+      return;
+    }
+    default: {
+      os << '(' << kindName(e.kind());
+      for (size_t i = 0; i < e.arity(); ++i) {
+        os << ' ';
+        sexpr(os, e.kid(i));
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string toInfix(Expr e) {
+  std::ostringstream os;
+  infix(os, e);
+  return os.str();
+}
+
+std::string toSmtLib(Expr e) {
+  std::ostringstream os;
+  sexpr(os, e);
+  return os.str();
+}
+
+std::string toSmtLibScript(std::span<const Expr> assertions) {
+  std::ostringstream os;
+  os << "(set-logic ALL)\n";
+  std::unordered_set<const Node*> declared;
+  for (Expr a : assertions) {
+    for (Expr v : freeVars(a)) {
+      if (declared.insert(v.node()).second)
+        os << "(declare-fun " << v.varName() << " () " << v.sort().str()
+           << ")\n";
+    }
+  }
+  for (Expr a : assertions) os << "(assert " << toSmtLib(a) << ")\n";
+  os << "(check-sat)\n";
+  return os.str();
+}
+
+std::string Expr::str() const { return toInfix(*this); }
+
+}  // namespace pugpara::expr

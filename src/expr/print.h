@@ -1,0 +1,23 @@
+// Printers: compact infix rendering (debugging, reports) and a full
+// SMT-LIB2 script printer (interoperability and golden tests).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+/// Infix, human-oriented rendering. Shared subterms are not de-duplicated;
+/// intended for small terms in reports and test failure messages.
+[[nodiscard]] std::string toInfix(Expr e);
+
+/// S-expression (SMT-LIB2 term syntax) rendering of one expression.
+[[nodiscard]] std::string toSmtLib(Expr e);
+
+/// A complete SMT-LIB2 script: declarations for every free variable in
+/// `assertions`, one (assert ...) per entry, and (check-sat).
+[[nodiscard]] std::string toSmtLibScript(std::span<const Expr> assertions);
+
+}  // namespace pugpara::expr

@@ -1,0 +1,331 @@
+#include "expr/simplify.h"
+
+#include <array>
+
+#include "expr/bv_ops.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::expr::detail {
+
+namespace {
+
+bool isAllOnes(Expr e) {
+  return e.isBvConst() &&
+         e.bvValue() == maskToWidth(~uint64_t{0}, e.sort().width());
+}
+
+bool isZero(Expr e) { return e.isBvConst() && e.bvValue() == 0; }
+bool isOne(Expr e) { return e.isBvConst() && e.bvValue() == 1; }
+
+/// x and ¬x (either orientation).
+bool areComplements(Expr x, Expr y) {
+  return (x.kind() == Kind::Not && x.kid(0) == y) ||
+         (y.kind() == Kind::Not && y.kid(0) == x);
+}
+
+Expr simplifyBool(Context& ctx, Kind kind, Expr x, Expr y) {
+  switch (kind) {
+    case Kind::And:
+      if (x.isFalse() || y.isFalse()) return ctx.bot();
+      if (x.isTrue()) return y;
+      if (y.isTrue()) return x;
+      if (x == y) return x;
+      if (areComplements(x, y)) return ctx.bot();
+      break;
+    case Kind::Or:
+      if (x.isTrue() || y.isTrue()) return ctx.top();
+      if (x.isFalse()) return y;
+      if (y.isFalse()) return x;
+      if (x == y) return x;
+      if (areComplements(x, y)) return ctx.top();
+      break;
+    case Kind::Xor:
+      if (x.isFalse()) return y;
+      if (y.isFalse()) return x;
+      if (x.isTrue()) return ctx.mkNot(y);
+      if (y.isTrue()) return ctx.mkNot(x);
+      if (x == y) return ctx.bot();
+      if (areComplements(x, y)) return ctx.top();
+      break;
+    case Kind::Implies:
+      if (x.isFalse() || y.isTrue()) return ctx.top();
+      if (x.isTrue()) return y;
+      if (y.isFalse()) return ctx.mkNot(x);
+      if (x == y) return ctx.top();
+      break;
+    default:
+      break;
+  }
+  return Expr();
+}
+
+Expr simplifyEq(Context& ctx, Expr x, Expr y) {
+  if (x == y) return ctx.top();
+  if (x.isBvConst() && y.isBvConst())
+    return ctx.boolVal(x.bvValue() == y.bvValue());  // distinct nodes -> false
+  if (x.sort().isBool()) {
+    if (x.isTrue()) return y;
+    if (y.isTrue()) return x;
+    if (x.isFalse()) return ctx.mkNot(y);
+    if (y.isFalse()) return ctx.mkNot(x);
+    if (areComplements(x, y)) return ctx.bot();
+  }
+  // (= (bvadd v c1) c2)  and friends are left to the solver; local rules
+  // stay cheap and obviously sound.
+  return Expr();
+}
+
+Expr simplifyIte(Context& ctx, Expr c, Expr t, Expr e) {
+  if (c.isTrue()) return t;
+  if (c.isFalse()) return e;
+  if (t == e) return t;
+  if (t.sort().isBool()) {
+    if (t.isTrue() && e.isFalse()) return c;
+    if (t.isFalse() && e.isTrue()) return ctx.mkNot(c);
+    if (t.isTrue()) return ctx.mkOr(c, e);            // ite(c,T,e) = c ∨ e
+    if (e.isFalse()) return ctx.mkAnd(c, t);          // ite(c,t,F) = c ∧ t
+    if (t.isFalse()) return ctx.mkAnd(ctx.mkNot(c), e);
+    if (e.isTrue()) return ctx.mkOr(ctx.mkNot(c), t);
+  }
+  if (c.kind() == Kind::Not) return ctx.mkIte(c.kid(0), e, t);
+  // ite(c, x, ite(c, y, z)) -> ite(c, x, z)
+  if (e.kind() == Kind::Ite && e.kid(0) == c) return ctx.mkIte(c, t, e.kid(2));
+  if (t.kind() == Kind::Ite && t.kid(0) == c) return ctx.mkIte(c, t.kid(1), e);
+  return Expr();
+}
+
+Expr simplifyBvBin(Context& ctx, Kind kind, Expr x, Expr y) {
+  const uint32_t w = x.sort().width();
+  if (x.isBvConst() && y.isBvConst())
+    return ctx.bvVal(foldBvBin(kind, x.bvValue(), y.bvValue(), w), w);
+
+  switch (kind) {
+    case Kind::BvAdd:
+      if (isZero(x)) return y;
+      if (isZero(y)) return x;
+      break;
+    case Kind::BvSub:
+      if (isZero(y)) return x;
+      if (x == y) return ctx.bvVal(0, w);
+      if (isZero(x)) return ctx.mkBvNeg(y);
+      break;
+    case Kind::BvMul:
+      if (isZero(x) || isZero(y)) return ctx.bvVal(0, w);
+      if (isOne(x)) return y;
+      if (isOne(y)) return x;
+      break;
+    case Kind::BvUDiv:
+      if (isOne(y)) return x;
+      break;
+    case Kind::BvURem:
+      if (isOne(y)) return ctx.bvVal(0, w);
+      break;
+    case Kind::BvAnd:
+      if (isZero(x) || isZero(y)) return ctx.bvVal(0, w);
+      if (isAllOnes(x)) return y;
+      if (isAllOnes(y)) return x;
+      if (x == y) return x;
+      break;
+    case Kind::BvOr:
+      if (isAllOnes(x) || isAllOnes(y))
+        return ctx.bvVal(maskToWidth(~uint64_t{0}, w), w);
+      if (isZero(x)) return y;
+      if (isZero(y)) return x;
+      if (x == y) return x;
+      break;
+    case Kind::BvXor:
+      if (isZero(x)) return y;
+      if (isZero(y)) return x;
+      if (x == y) return ctx.bvVal(0, w);
+      break;
+    case Kind::BvShl:
+    case Kind::BvLShr:
+    case Kind::BvAShr:
+      if (isZero(y)) return x;
+      if (isZero(x)) return ctx.bvVal(0, w);
+      if ((kind == Kind::BvShl || kind == Kind::BvLShr) && y.isBvConst() &&
+          y.bvValue() >= w)
+        return ctx.bvVal(0, w);
+      break;
+    default:
+      break;
+  }
+  return Expr();
+}
+
+Expr simplifyCmp(Context& ctx, Kind kind, Expr x, Expr y) {
+  const uint32_t w = x.sort().width();
+  if (x.isBvConst() && y.isBvConst())
+    return ctx.boolVal(foldBvCmp(kind, x.bvValue(), y.bvValue(), w));
+  if (x == y)
+    return ctx.boolVal(kind == Kind::BvUle || kind == Kind::BvSle);
+  switch (kind) {
+    case Kind::BvUlt:
+      if (isZero(y)) return ctx.bot();                 // x < 0 is false
+      if (isAllOnes(x)) return ctx.bot();              // max < y is false
+      break;
+    case Kind::BvUle:
+      if (isZero(x)) return ctx.top();                 // 0 <= y
+      if (isAllOnes(y)) return ctx.top();              // x <= max
+      break;
+    default:
+      break;
+  }
+  return Expr();
+}
+
+Expr simplifySelect(Context& ctx, Expr array, Expr index) {
+  // Distribute reads over array-valued ite: scalar ite chains are far
+  // friendlier to solvers than array ites (Z3 4.8's default tactic degrades
+  // badly on them), and the rewrite lets the store-chain resolution below
+  // reach into both branches. DAG sharing keeps the expansion linear.
+  if (array.kind() == Kind::Ite)
+    return ctx.mkIte(array.kid(0), ctx.mkSelect(array.kid(1), index),
+                     ctx.mkSelect(array.kid(2), index));
+  // Read-over-write expansion, index-shape directed:
+  //  * syntactically equal index — resolve to the stored value;
+  //  * CONSTANT store index — expand to ite(index == i, v, rest): the
+  //    equality is cheap and this removes the store/ite towers Z3 4.8's
+  //    default tactic times out on (e.g. unrolled per-thread writes read
+  //    back at a symbolic specification index);
+  //  * symbolic store index — keep the select: the solver's lazy array
+  //    instantiation beats eager expansion when store addresses carry
+  //    multiplications (the transpose's width * y addresses).
+  if (array.kind() == Kind::Store) {
+    Expr i = array.kid(1);
+    if (i == index) return array.kid(2);
+    if (i.isBvConst() || index.isBvConst())
+      return ctx.mkIte(ctx.mkEq(index, i), array.kid(2),
+                       ctx.mkSelect(array.kid(0), index));
+  }
+  return Expr();
+}
+
+Expr simplifyStore(Context& ctx, Expr array, Expr index, Expr value) {
+  // store(store(a, i, _), i, v) -> store(a, i, v)
+  if (array.kind() == Kind::Store && array.kid(1) == index)
+    return ctx.mkStore(array.kid(0), index, value);
+  // store(a, i, select(a, i)) -> a
+  if (value.kind() == Kind::Select && value.kid(0) == array &&
+      value.kid(1) == index)
+    return array;
+  return Expr();
+}
+
+}  // namespace
+
+Expr simplifyOrIntern(Context& ctx, Kind kind, Sort sort,
+                      std::span<const Expr> kids, uint32_t a, uint32_t b) {
+  Expr result;
+
+  switch (kind) {
+    case Kind::Not: {
+      Expr x = kids[0];
+      if (x.isBoolConst()) result = ctx.boolVal(x.isFalse());
+      else if (x.kind() == Kind::Not) result = x.kid(0);
+      // ¬(x < y) normalizations keep comparisons positive for readability.
+      else if (x.kind() == Kind::BvUlt) result = ctx.mkUle(x.kid(1), x.kid(0));
+      else if (x.kind() == Kind::BvUle) result = ctx.mkUlt(x.kid(1), x.kid(0));
+      else if (x.kind() == Kind::BvSlt) result = ctx.mkSle(x.kid(1), x.kid(0));
+      else if (x.kind() == Kind::BvSle) result = ctx.mkSlt(x.kid(1), x.kid(0));
+      break;
+    }
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Xor:
+    case Kind::Implies:
+      result = simplifyBool(ctx, kind, kids[0], kids[1]);
+      break;
+    case Kind::Eq:
+      result = simplifyEq(ctx, kids[0], kids[1]);
+      break;
+    case Kind::Ite:
+      result = simplifyIte(ctx, kids[0], kids[1], kids[2]);
+      break;
+    case Kind::BvNeg: {
+      Expr x = kids[0];
+      const uint32_t w = x.sort().width();
+      if (x.isBvConst()) result = ctx.bvVal(~x.bvValue() + 1, w);
+      else if (x.kind() == Kind::BvNeg) result = x.kid(0);
+      break;
+    }
+    case Kind::BvNot: {
+      Expr x = kids[0];
+      const uint32_t w = x.sort().width();
+      if (x.isBvConst()) result = ctx.bvVal(~x.bvValue(), w);
+      else if (x.kind() == Kind::BvNot) result = x.kid(0);
+      break;
+    }
+    case Kind::BvAdd:
+    case Kind::BvSub:
+    case Kind::BvMul:
+    case Kind::BvUDiv:
+    case Kind::BvURem:
+    case Kind::BvSDiv:
+    case Kind::BvSRem:
+    case Kind::BvAnd:
+    case Kind::BvOr:
+    case Kind::BvXor:
+    case Kind::BvShl:
+    case Kind::BvLShr:
+    case Kind::BvAShr:
+      result = simplifyBvBin(ctx, kind, kids[0], kids[1]);
+      break;
+    case Kind::BvUlt:
+    case Kind::BvUle:
+    case Kind::BvSlt:
+    case Kind::BvSle:
+      result = simplifyCmp(ctx, kind, kids[0], kids[1]);
+      break;
+    case Kind::BvConcat: {
+      Expr hi = kids[0], lo = kids[1];
+      if (hi.isBvConst() && lo.isBvConst())
+        result = ctx.bvVal((hi.bvValue() << lo.sort().width()) | lo.bvValue(),
+                           sort.width());
+      break;
+    }
+    case Kind::BvExtract: {
+      Expr x = kids[0];
+      if (a == x.sort().width() - 1 && b == 0) result = x;
+      else if (x.isBvConst())
+        result = ctx.bvVal(x.bvValue() >> b, a - b + 1);
+      break;
+    }
+    case Kind::BvZeroExt: {
+      Expr x = kids[0];
+      if (x.isBvConst()) result = ctx.bvVal(x.bvValue(), sort.width());
+      break;
+    }
+    case Kind::BvSignExt: {
+      Expr x = kids[0];
+      if (x.isBvConst())
+        result = ctx.bvVal(
+            static_cast<uint64_t>(toSigned(x.bvValue(), x.sort().width())),
+            sort.width());
+      break;
+    }
+    case Kind::Select:
+      result = simplifySelect(ctx, kids[0], kids[1]);
+      break;
+    case Kind::Store:
+      result = simplifyStore(ctx, kids[0], kids[1], kids[2]);
+      break;
+    default:
+      break;
+  }
+
+  if (!result.isNull()) {
+    require(result.sort() == sort, "simplifier changed the sort of a node");
+    return result;
+  }
+
+  // Canonical operand order for commutative operators (by node id) improves
+  // hash-consing hit rates across syntactically different build orders.
+  if (isCommutative(kind) && kids.size() == 2 && kids[1] < kids[0]) {
+    const std::array<Expr, 2> swapped = {kids[1], kids[0]};
+    return ctx.intern(kind, sort, swapped, a, b);
+  }
+  return ctx.intern(kind, sort, kids, a, b);
+}
+
+}  // namespace pugpara::expr::detail

@@ -1,0 +1,28 @@
+// Local (single-node, bottom-up) simplification applied by every Context
+// builder before interning. Children are already simplified, so rules only
+// inspect one level (plus select/store chains, which recurse through
+// Context builders and therefore stay simplified).
+#pragma once
+
+#include <initializer_list>
+#include <span>
+
+#include "expr/context.h"
+
+namespace pugpara::expr::detail {
+
+/// Applies rewrite rules for (kind, kids); falls back to interning the node
+/// unchanged when no rule fires.
+Expr simplifyOrIntern(Context& ctx, Kind kind, Sort sort,
+                      std::span<const Expr> kids, uint32_t a = 0,
+                      uint32_t b = 0);
+
+inline Expr simplifyOrIntern(Context& ctx, Kind kind, Sort sort,
+                             std::initializer_list<Expr> kids, uint32_t a = 0,
+                             uint32_t b = 0) {
+  return simplifyOrIntern(ctx, kind, sort,
+                          std::span<const Expr>(kids.begin(), kids.size()), a,
+                          b);
+}
+
+}  // namespace pugpara::expr::detail

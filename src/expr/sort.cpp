@@ -1,0 +1,48 @@
+#include "expr/sort.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::expr {
+
+Sort Sort::bv(uint32_t width) {
+  require(width >= 1 && width <= 64, "bit-vector width must be in [1, 64]");
+  return Sort(Tag::BitVec, width, 0);
+}
+
+Sort Sort::array(uint32_t indexWidth, uint32_t elemWidth) {
+  require(indexWidth >= 1 && indexWidth <= 64 && elemWidth >= 1 &&
+              elemWidth <= 64,
+          "array index/element widths must be in [1, 64]");
+  return Sort(Tag::Array, indexWidth, elemWidth);
+}
+
+uint32_t Sort::width() const {
+  require(isBv(), "Sort::width on non-bitvector sort");
+  return a_;
+}
+
+uint32_t Sort::indexWidth() const {
+  require(isArray(), "Sort::indexWidth on non-array sort");
+  return a_;
+}
+
+uint32_t Sort::elemWidth() const {
+  require(isArray(), "Sort::elemWidth on non-array sort");
+  return b_;
+}
+
+std::string Sort::str() const {
+  std::ostringstream os;
+  switch (tag_) {
+    case Tag::Bool: os << "Bool"; break;
+    case Tag::BitVec: os << "(_ BitVec " << a_ << ")"; break;
+    case Tag::Array:
+      os << "(Array (_ BitVec " << a_ << ") (_ BitVec " << b_ << "))";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace pugpara::expr

@@ -1,0 +1,55 @@
+// Sorts (types) of symbolic expressions: Bool, BitVec(w) and
+// Array(BitVec(i) -> BitVec(e)). Small value type, cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pugpara::expr {
+
+class Sort {
+ public:
+  enum class Tag : uint8_t { Bool, BitVec, Array };
+
+  /// Default-constructed sort is Bool.
+  Sort() = default;
+
+  static Sort boolSort() { return Sort(Tag::Bool, 0, 0); }
+  static Sort bv(uint32_t width);
+  /// Array from BitVec(indexWidth) to BitVec(elemWidth).
+  static Sort array(uint32_t indexWidth, uint32_t elemWidth);
+
+  [[nodiscard]] Tag tag() const { return tag_; }
+  [[nodiscard]] bool isBool() const { return tag_ == Tag::Bool; }
+  [[nodiscard]] bool isBv() const { return tag_ == Tag::BitVec; }
+  [[nodiscard]] bool isArray() const { return tag_ == Tag::Array; }
+
+  /// Width of a BitVec sort.
+  [[nodiscard]] uint32_t width() const;
+  /// Index width of an Array sort.
+  [[nodiscard]] uint32_t indexWidth() const;
+  /// Element width of an Array sort.
+  [[nodiscard]] uint32_t elemWidth() const;
+
+  [[nodiscard]] Sort indexSort() const { return bv(indexWidth()); }
+  [[nodiscard]] Sort elemSort() const { return bv(elemWidth()); }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Sort&, const Sort&) = default;
+
+  /// Stable hash usable for hash-consing keys.
+  [[nodiscard]] uint64_t hash() const {
+    return (static_cast<uint64_t>(tag_) << 56) ^
+           (static_cast<uint64_t>(a_) << 28) ^ b_;
+  }
+
+ private:
+  Sort(Tag tag, uint32_t a, uint32_t b) : tag_(tag), a_(a), b_(b) {}
+
+  Tag tag_ = Tag::Bool;
+  uint32_t a_ = 0;  // BitVec width, or array index width
+  uint32_t b_ = 0;  // array element width
+};
+
+}  // namespace pugpara::expr

@@ -1,0 +1,122 @@
+#include "expr/subst.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "expr/context.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::expr {
+
+namespace {
+
+class Substituter {
+ public:
+  Substituter(Context& ctx, const SubstMap& map) : ctx_(ctx), map_(map) {}
+
+  Expr run(Expr e) {
+    if (bound_.empty()) {
+      auto it = memo_.find(e.node());
+      if (it != memo_.end()) return it->second;
+    }
+    Expr r = rebuild(e);
+    if (bound_.empty()) memo_.emplace(e.node(), r);
+    return r;
+  }
+
+ private:
+  Expr rebuild(Expr e) {
+    switch (e.kind()) {
+      case Kind::BoolConst:
+      case Kind::BvConst:
+        return e;
+      case Kind::Var: {
+        if (bound_.contains(e.node())) return e;
+        auto it = map_.find(e.node());
+        if (it == map_.end()) return e;
+        require(it->second.sort() == e.sort(),
+                "substitution changes the sort of '" + e.varName() + "'");
+        return it->second;
+      }
+      case Kind::Forall:
+      case Kind::Exists: {
+        std::vector<const Node*> added;
+        std::vector<Expr> kids;
+        for (uint32_t i = 0; i < e.boundCount(); ++i) {
+          kids.push_back(e.kid(i));
+          if (bound_.insert(e.kid(i).node()).second)
+            added.push_back(e.kid(i).node());
+        }
+        Expr body = run(e.kid(e.boundCount()));
+        for (const Node* n : added) bound_.erase(n);
+        std::span<const Expr> bv(kids.data(), kids.size());
+        return e.kind() == Kind::Forall ? ctx_.mkForall(bv, body)
+                                        : ctx_.mkExists(bv, body);
+      }
+      default: {
+        std::vector<Expr> kids;
+        kids.reserve(e.arity());
+        bool changed = false;
+        for (size_t i = 0; i < e.arity(); ++i) {
+          Expr k = run(e.kid(i));
+          changed |= (k != e.kid(i));
+          kids.push_back(k);
+        }
+        if (!changed) return e;
+        return rebuildWithKids(e, kids);
+      }
+    }
+  }
+
+  Context& ctx_;
+  const SubstMap& map_;
+  std::unordered_set<const Node*> bound_;
+  std::unordered_map<const Node*, Expr> memo_;
+};
+
+}  // namespace
+
+Expr rebuildWithKids(Expr e, std::span<const Expr> kids) {
+  Context& ctx_ = e.ctx();
+  {
+    switch (e.kind()) {
+      case Kind::Not: return ctx_.mkNot(kids[0]);
+      case Kind::And: return ctx_.mkAnd(kids[0], kids[1]);
+      case Kind::Or: return ctx_.mkOr(kids[0], kids[1]);
+      case Kind::Xor: return ctx_.mkXor(kids[0], kids[1]);
+      case Kind::Implies: return ctx_.mkImplies(kids[0], kids[1]);
+      case Kind::Eq: return ctx_.mkEq(kids[0], kids[1]);
+      case Kind::Ite: return ctx_.mkIte(kids[0], kids[1], kids[2]);
+      case Kind::BvNeg: return ctx_.mkBvNeg(kids[0]);
+      case Kind::BvNot: return ctx_.mkBvNot(kids[0]);
+      case Kind::BvUlt: return ctx_.mkUlt(kids[0], kids[1]);
+      case Kind::BvUle: return ctx_.mkUle(kids[0], kids[1]);
+      case Kind::BvSlt: return ctx_.mkSlt(kids[0], kids[1]);
+      case Kind::BvSle: return ctx_.mkSle(kids[0], kids[1]);
+      case Kind::BvConcat: return ctx_.mkConcat(kids[0], kids[1]);
+      case Kind::BvExtract:
+        return ctx_.mkExtract(kids[0], e.extractHi(), e.extractLo());
+      case Kind::BvZeroExt: return ctx_.mkZeroExt(kids[0], e.extendBy());
+      case Kind::BvSignExt: return ctx_.mkSignExt(kids[0], e.extendBy());
+      case Kind::Select: return ctx_.mkSelect(kids[0], kids[1]);
+      case Kind::Store: return ctx_.mkStore(kids[0], kids[1], kids[2]);
+      default:
+        // Remaining binary bit-vector operations share one builder.
+        return ctx_.mkBvBin(e.kind(), kids[0], kids[1]);
+    }
+  }
+}
+
+Expr substitute(Expr e, const SubstMap& map) {
+  if (map.empty()) return e;
+  return Substituter(e.ctx(), map).run(e);
+}
+
+Expr substitute(Expr e, Expr var, Expr replacement) {
+  require(var.isVar(), "substitute: key must be a variable");
+  SubstMap m;
+  m.emplace(var.node(), replacement);
+  return substitute(e, m);
+}
+
+}  // namespace pugpara::expr

@@ -1,0 +1,32 @@
+// Capture-avoiding-enough substitution of free variables by expressions.
+// The encoders instantiate parametric thread variables (tid.x, ...) with
+// fresh instance variables via this pass (Sec. IV-B of the paper).
+//
+// Quantified subterms: substitution descends into bodies but never replaces
+// a variable bound by an enclosing quantifier. Replacement terms must not
+// contain variables that are bound in the target (the encoders guarantee
+// this by construction: bound variables are always fresh).
+#pragma once
+
+#include <unordered_map>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+using SubstMap = std::unordered_map<const Node*, Expr>;
+
+/// Rebuilds `e` with every free occurrence of a key variable replaced by the
+/// mapped expression. The rebuild goes through the Context builders, so the
+/// result is re-simplified (constant folding after concretization, etc.).
+[[nodiscard]] Expr substitute(Expr e, const SubstMap& map);
+
+/// Convenience overload for a single replacement.
+[[nodiscard]] Expr substitute(Expr e, Expr var, Expr replacement);
+
+/// Rebuilds a node of e's kind with new children through the Context
+/// builders (re-simplifying). Children must match e's arity and sorts.
+/// Quantifiers are not supported here.
+[[nodiscard]] Expr rebuildWithKids(Expr e, std::span<const Expr> kids);
+
+}  // namespace pugpara::expr

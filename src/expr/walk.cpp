@@ -1,0 +1,80 @@
+#include "expr/walk.h"
+
+#include <unordered_set>
+
+namespace pugpara::expr {
+
+namespace {
+
+// Collects free variables; `bound` carries quantifier-bound variables on the
+// current path. Visited-node memoization is only sound for subterms outside
+// any binder, so it applies only when `bound` is empty (the common case: the
+// encoders produce mostly quantifier-free terms and always quantify fresh
+// variables).
+void collectFree(Expr e, std::unordered_set<const Node*>& bound,
+                 std::unordered_set<const Node*>& seen,
+                 std::unordered_set<const Node*>& outSet,
+                 std::vector<Expr>& out) {
+  if (bound.empty() && !seen.insert(e.node()).second) return;
+  switch (e.kind()) {
+    case Kind::Var:
+      if (!bound.contains(e.node()) && outSet.insert(e.node()).second)
+        out.push_back(e);
+      return;
+    case Kind::Forall:
+    case Kind::Exists: {
+      std::vector<const Node*> added;
+      for (uint32_t i = 0; i < e.boundCount(); ++i)
+        if (bound.insert(e.kid(i).node()).second)
+          added.push_back(e.kid(i).node());
+      collectFree(e.kid(e.boundCount()), bound, seen, outSet, out);
+      for (const Node* n : added) bound.erase(n);
+      return;
+    }
+    default:
+      for (size_t i = 0; i < e.arity(); ++i)
+        collectFree(e.kid(i), bound, seen, outSet, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Expr> freeVars(Expr e) {
+  std::unordered_set<const Node*> bound, seen, outSet;
+  std::vector<Expr> out;
+  collectFree(e, bound, seen, outSet, out);
+  return out;
+}
+
+size_t nodeCount(Expr e) {
+  size_t n = 0;
+  postOrder(e, [&n](Expr) { ++n; });
+  return n;
+}
+
+bool occursFree(Expr e, Expr var) {
+  for (Expr v : freeVars(e))
+    if (v == var) return true;
+  return false;
+}
+
+void postOrder(Expr e, const std::function<void(Expr)>& visit) {
+  std::unordered_set<const Node*> seen;
+  // Explicit stack: encoder outputs can be deep ite chains.
+  std::vector<std::pair<Expr, size_t>> stack;
+  stack.emplace_back(e, 0);
+  seen.insert(e.node());
+  while (!stack.empty()) {
+    auto& [cur, next] = stack.back();
+    if (next < cur.arity()) {
+      Expr kid = cur.kid(next++);
+      if (seen.insert(kid.node()).second) stack.emplace_back(kid, 0);
+    } else {
+      visit(cur);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace pugpara::expr

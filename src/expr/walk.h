@@ -1,0 +1,27 @@
+// DAG traversal utilities: free-variable collection, node counting and
+// generic post-order visiting with per-node memoization.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+/// Free variables of `e` in first-occurrence order. Variables bound by an
+/// enclosing quantifier are excluded.
+[[nodiscard]] std::vector<Expr> freeVars(Expr e);
+
+/// Number of distinct DAG nodes reachable from `e` (a size measure used by
+/// the encoding ablation bench and tests).
+[[nodiscard]] size_t nodeCount(Expr e);
+
+/// True when `var` occurs free in `e`.
+[[nodiscard]] bool occursFree(Expr e, Expr var);
+
+/// Visits each distinct node reachable from `e` exactly once, children
+/// before parents.
+void postOrder(Expr e, const std::function<void(Expr)>& visit);
+
+}  // namespace pugpara::expr

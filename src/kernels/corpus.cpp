@@ -1,0 +1,399 @@
+#include "kernels/corpus.h"
+
+#include "support/diagnostics.h"
+
+namespace pugpara::kernels {
+
+namespace {
+
+// ---- Transpose family (paper Sec. II) ---------------------------------------
+
+constexpr const char* kTransposeNaive = R"(
+// Naive matrix transpose (CUDA SDK 2.0 "transpose_naive"), with the paper's
+// functional-correctness postcondition. Global writes are not coalesced.
+void transposeNaive(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.z == 1);
+  assume(width >= 0 && width <= $B && height >= 0 && height <= $B);
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = xIndex + width * yIndex;
+    int index_out = yIndex + height * xIndex;
+    odata[index_out] = idata[index_in];
+  }
+  int i, j;
+  postcond(i >= 0 && j >= 0 && i < width && j < height =>
+           odata[i * height + j] == idata[j * width + i]);
+}
+)";
+
+constexpr const char* kTransposeOpt = R"(
+// Optimized transpose: coalesced global accesses through a padded shared
+// tile (the +1 avoids bank conflicts). Correct only for square blocks —
+// hence the bdim.x == bdim.y validity assumption.
+void transposeOpt(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.x == bdim.y && bdim.z == 1);
+  assume(width >= 0 && width <= $B && height >= 0 && height <= $B);
+  __shared__ int block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}
+)";
+
+constexpr const char* kTransposeOptNoSquare = R"(
+// The optimized transpose WITHOUT the square-block validity assumption:
+// PUGpara reveals the hidden assumption (the paper's '*' configurations).
+void transposeOptNoSquare(int *odata, int *idata, int width, int height) {
+  assume(width == gdim.x * bdim.x && height == gdim.y * bdim.y);
+  assume(bdim.z == 1);
+  assume(width >= 0 && width <= $B && height >= 0 && height <= $B);
+  __shared__ int block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}
+)";
+
+// ---- Reduction family (paper Sec. IV-E) -------------------------------------
+
+constexpr const char* kReduceMod = R"(
+// Interleaved reduction with the slow modulo test (SDK "reduce0").
+void reduceMod(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= $B);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    if ((tid.x % (2 * k)) == 0)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+)";
+
+constexpr const char* kReduceStrided = R"(
+// Interleaved reduction with strided indexing: the modulo is gone but the
+// access pattern causes shared-memory bank conflicts (SDK "reduce1").
+void reduceStrided(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= $B);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    int index = 2 * k * tid.x;
+    if (index < bdim.x)
+      sdata[index] += sdata[index + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+)";
+
+constexpr const char* kReduceSequential = R"(
+// Sequential-addressing reduction (SDK "reduce2"): conflict-free and
+// coalesced; iterates the stride DOWNWARDS, so equivalence against the
+// interleaved versions needs the commutativity argument of Sec. IV-E.
+void reduceSequential(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= $B);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = bdim.x / 2; k > 0; k = k / 2) {
+    if (tid.x < k)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+)";
+
+// ---- Scan (parallel prefix sum) ----------------------------------------------
+
+constexpr const char* kScanNaive = R"(
+// Hillis-Steele scan with double buffering (SDK "scan_naive"); exclusive
+// prefix sum of one block. The buffer-flip variable defeats parameterized
+// loop alignment, so this one exercises the non-parameterized path.
+void scanNaive(int *g_odata, int *g_idata) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.x == 1 && gdim.y == 1);
+  __shared__ int temp[2 * bdim.x];
+  int pout = 0;
+  int pin = 1;
+  if (tid.x > 0) temp[tid.x] = g_idata[tid.x - 1]; else temp[tid.x] = 0;
+  __syncthreads();
+  for (unsigned int offset = 1; offset < bdim.x; offset *= 2) {
+    pout = 1 - pout;
+    pin = 1 - pout;
+    if (tid.x >= offset)
+      temp[pout * bdim.x + tid.x] =
+          temp[pin * bdim.x + tid.x] + temp[pin * bdim.x + tid.x - offset];
+    else
+      temp[pout * bdim.x + tid.x] = temp[pin * bdim.x + tid.x];
+    __syncthreads();
+  }
+  g_odata[tid.x] = temp[pout * bdim.x + tid.x];
+}
+)";
+
+// ---- Scalar product -----------------------------------------------------------
+
+constexpr const char* kScalarProd = R"(
+// Per-block dot product (simplified SDK "scalarProd"): elementwise products
+// into shared accumulators, then a downward tree reduction.
+void scalarProd(int *d_C, int *d_A, int *d_B) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.y == 1 && bdim.x <= $B);
+  assume((bdim.x & (bdim.x - 1)) == 0);
+  __shared__ int accum[bdim.x];
+  accum[tid.x] = d_A[bid.x * bdim.x + tid.x] * d_B[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int stride = bdim.x / 2; stride > 0; stride = stride / 2) {
+    if (tid.x < stride)
+      accum[tid.x] += accum[tid.x + stride];
+    __syncthreads();
+  }
+  if (tid.x == 0) d_C[bid.x] = accum[0];
+}
+)";
+
+// ---- Bitonic sort --------------------------------------------------------------
+
+constexpr const char* kBitonicSort = R"(
+// In-shared-memory bitonic sort of one block (SDK "bitonic"); the nested
+// barrier-carrying loops make this the example where fixed-thread tools
+// blow up (the paper notes GKLEE's state explosion beyond 8 threads).
+void bitonicSort(int *values) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.x == 1 && gdim.y == 1);
+  __shared__ int shared[bdim.x];
+  shared[tid.x] = values[tid.x];
+  __syncthreads();
+  for (unsigned int k = 2; k <= bdim.x; k *= 2) {
+    for (unsigned int j = k / 2; j > 0; j = j / 2) {
+      unsigned int ixj = tid.x ^ j;
+      if (ixj > tid.x) {
+        if ((tid.x & k) == 0) {
+          if (shared[tid.x] > shared[ixj]) {
+            int t = shared[tid.x];
+            shared[tid.x] = shared[ixj];
+            shared[ixj] = t;
+          }
+        } else {
+          if (shared[tid.x] < shared[ixj]) {
+            int t = shared[tid.x];
+            shared[tid.x] = shared[ixj];
+            shared[ixj] = t;
+          }
+        }
+      }
+      __syncthreads();
+    }
+  }
+  values[tid.x] = shared[tid.x];
+}
+)";
+
+// ---- Matrix multiply ------------------------------------------------------------
+
+constexpr const char* kMatMulNaive = R"(
+// Naive matrix multiply: every thread walks a full row/column pair.
+void matMulNaive(int *C, int *A, int *B, int wA, int wB) {
+  assume(wB == gdim.x * bdim.x && bdim.z == 1);
+  int row = bid.y * bdim.y + tid.y;
+  int col = bid.x * bdim.x + tid.x;
+  int acc = 0;
+  for (int k = 0; k < wA; k++)
+    acc += A[row * wA + k] * B[k * wB + col];
+  C[row * wB + col] = acc;
+}
+)";
+
+constexpr const char* kMatMulTiled = R"(
+// Tiled matrix multiply (CUDA programming guide, Sec. 6.2): square tiles
+// staged through shared memory with barrier-separated phases.
+void matMulTiled(int *C, int *A, int *B, int wA, int wB) {
+  assume(wB == gdim.x * bdim.x && bdim.x == bdim.y && bdim.z == 1);
+  __shared__ int As[bdim.x][bdim.x];
+  __shared__ int Bs[bdim.x][bdim.x];
+  int row = bid.y * bdim.y + tid.y;
+  int col = bid.x * bdim.x + tid.x;
+  int acc = 0;
+  for (int m = 0; m < wA / bdim.x; m++) {
+    As[tid.y][tid.x] = A[row * wA + (m * bdim.x + tid.x)];
+    Bs[tid.y][tid.x] = B[(m * bdim.x + tid.y) * wB + col];
+    __syncthreads();
+    for (int k = 0; k < bdim.x; k++)
+      acc += As[tid.y][k] * Bs[k][tid.x];
+    __syncthreads();
+  }
+  C[row * wB + col] = acc;
+}
+)";
+
+
+// ---- Array reversal -------------------------------------------------------------
+
+constexpr const char* kReverseNaive = R"(
+// Naive array reversal: reversed (hence uncoalesced) global writes.
+void reverseNaive(int *out, int *in, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) out[n - 1 - i] = in[i];
+  int j;
+  postcond(j >= 0 && j < n => out[j] == in[n - 1 - j]);
+}
+)";
+
+constexpr const char* kReverseOpt = R"(
+// Optimized reversal: reverse within a shared tile, then write the tiles
+// out in reverse block order — every global access coalesced. Linear
+// addressing keeps this pair parameterized-checkable without any
+// concretization (unlike the transpose).
+void reverseOpt(int *out, int *in, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  __shared__ int tile[bdim.x];
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) tile[bdim.x - 1 - tid.x] = in[i];
+  __syncthreads();
+  int o = (gdim.x - 1 - bid.x) * bdim.x + tid.x;
+  if (o < n) out[o] = tile[tid.x];
+  int j;
+  postcond(j >= 0 && j < n => out[j] == in[n - 1 - j]);
+}
+)";
+
+// ---- Small teaching kernels ------------------------------------------------------
+
+constexpr const char* kVecAdd = R"(
+// Elementwise vector addition: the quickstart kernel.
+void vecAdd(int *c, int *a, int *b, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) c[i] = a[i] + b[i];
+  int j;
+  postcond(j >= 0 && j < n => c[j] == a[j] + b[j]);
+}
+)";
+
+constexpr const char* kSaxpy = R"(
+// saxpy: c = alpha * a + b.
+void saxpy(int *c, int *a, int *b, int alpha, int n) {
+  assume(n == gdim.x * bdim.x && bdim.y == 1 && bdim.z == 1 && gdim.y == 1);
+  int i = bid.x * bdim.x + tid.x;
+  if (i < n) c[i] = alpha * a[i] + b[i];
+  int j;
+  postcond(j >= 0 && j < n => c[j] == alpha * a[j] + b[j]);
+}
+)";
+
+constexpr const char* kRacyHistogram = R"(
+// Histogram without atomics: two threads hitting the same bin race. A
+// deliberately racy kernel for exercising the race checkers.
+void racyHistogram(int *bins, int *data) {
+  assume(bdim.y == 1 && bdim.z == 1 && gdim.x == 1 && gdim.y == 1);
+  bins[data[tid.x] % 64] += 1;
+}
+)";
+
+std::vector<CorpusEntry> buildCorpus() {
+  std::vector<CorpusEntry> out;
+  auto add = [&out](std::string name, std::string family, std::string desc,
+                    const char* src, bool paramFriendly,
+                    encode::GridConfig grid) {
+    out.push_back({std::move(name), std::move(family), std::move(desc), src,
+                   paramFriendly, grid});
+  };
+  add("transposeNaive", "transpose", "naive transpose (uncoalesced writes)",
+      kTransposeNaive, true, {2, 2, 2, 2, 1});
+  add("transposeOpt", "transpose", "optimized transpose (tiled, padded)",
+      kTransposeOpt, true, {2, 2, 2, 2, 1});
+  add("transposeOptNoSquare", "transpose",
+      "optimized transpose without the square-block assumption",
+      kTransposeOptNoSquare, true, {1, 2, 4, 2, 1});
+  add("reduceMod", "reduction", "interleaved reduction, modulo test",
+      kReduceMod, true, {2, 1, 8, 1, 1});
+  add("reduceStrided", "reduction", "interleaved reduction, strided index",
+      kReduceStrided, true, {2, 1, 8, 1, 1});
+  add("reduceSequential", "reduction", "sequential-addressing reduction",
+      kReduceSequential, true, {2, 1, 8, 1, 1});
+  add("scanNaive", "scan", "Hillis-Steele scan, double-buffered", kScanNaive,
+      false, {1, 1, 8, 1, 1});
+  add("scalarProd", "scalarprod", "per-block dot product", kScalarProd, true,
+      {2, 1, 8, 1, 1});
+  add("bitonicSort", "sort", "bitonic sort of one block", kBitonicSort,
+      false, {1, 1, 8, 1, 1});
+  add("matMulNaive", "matmul", "naive matrix multiply", kMatMulNaive, false,
+      {2, 2, 2, 2, 1});
+  add("matMulTiled", "matmul", "tiled matrix multiply", kMatMulTiled, false,
+      {2, 2, 2, 2, 1});
+  add("reverseNaive", "reverse", "array reversal (uncoalesced writes)",
+      kReverseNaive, true, {2, 1, 8, 1, 1});
+  add("reverseOpt", "reverse", "array reversal via reversed shared tiles",
+      kReverseOpt, true, {2, 1, 8, 1, 1});
+  add("vecAdd", "teaching", "vector addition with postcondition", kVecAdd,
+      true, {2, 1, 8, 1, 1});
+  add("saxpy", "teaching", "saxpy with postcondition", kSaxpy, true,
+      {2, 1, 8, 1, 1});
+  add("racyHistogram", "teaching", "deliberately racy histogram",
+      kRacyHistogram, true, {1, 1, 8, 1, 1});
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> entries = buildCorpus();
+  return entries;
+}
+
+const CorpusEntry& entry(const std::string& name) {
+  for (const CorpusEntry& e : corpus())
+    if (e.name == name) return e;
+  throw PugError("no corpus kernel named '" + name + "'");
+}
+
+std::string sourceFor(const CorpusEntry& e, uint32_t width) {
+  require(width >= 4 && width <= 64, "corpus: width out of range");
+  // Largest extent so that a $B x $B matrix (and the padded tile) stays
+  // inside the addressable range: 2^(w/2) - 1.
+  const uint64_t bound = (uint64_t{1} << (width / 2)) - 1;
+  std::string src = e.source;
+  const std::string key = "$B";
+  for (size_t pos = src.find(key); pos != std::string::npos;
+       pos = src.find(key, pos))
+    src.replace(pos, key.size(), std::to_string(bound));
+  return src;
+}
+
+std::string combinedSource(const std::vector<std::string>& names,
+                           uint32_t width) {
+  std::string out;
+  for (const auto& n : names) out += sourceFor(entry(n), width);
+  return out;
+}
+
+}  // namespace pugpara::kernels

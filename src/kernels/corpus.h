@@ -1,0 +1,39 @@
+// Built-in kernel corpus: the CUDA SDK 2.0-style kernels the paper
+// evaluates (transpose, reduction, scan, scalar product, bitonic sort,
+// matrix multiply) plus small teaching kernels. Sources may contain the
+// placeholder `$B`, replaced per bit-width by the largest matrix extent the
+// width can model without address aliasing (2^(w/2) - 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encode/ssa_encoder.h"
+
+namespace pugpara::kernels {
+
+struct CorpusEntry {
+  std::string name;         // kernel name as declared in `source`
+  std::string family;       // "transpose", "reduction", ...
+  std::string description;
+  std::string source;       // mini-CUDA text (may contain $B)
+  bool paramFriendly;       // parameterized methods apply directly
+  encode::GridConfig defaultGrid;  // sensible non-parameterized config
+};
+
+/// All corpus entries.
+[[nodiscard]] const std::vector<CorpusEntry>& corpus();
+
+/// Lookup by kernel name; PugError when absent.
+[[nodiscard]] const CorpusEntry& entry(const std::string& name);
+
+/// Source text with `$B` substituted for the given bit-width.
+[[nodiscard]] std::string sourceFor(const CorpusEntry& e, uint32_t width);
+
+/// Concatenated, width-substituted sources of several entries (to parse as
+/// one translation unit, as the equivalence checkers need).
+[[nodiscard]] std::string combinedSource(
+    const std::vector<std::string>& names, uint32_t width);
+
+}  // namespace pugpara::kernels

@@ -1,0 +1,219 @@
+#include "kernels/mutate.h"
+
+#include <functional>
+#include <sstream>
+
+#include "lang/ast_printer.h"
+#include "lang/sema.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::kernels {
+
+namespace {
+
+using lang::BinOp;
+using lang::Expr;
+using lang::Stmt;
+
+/// Walks a kernel's statements/expressions in a deterministic order,
+/// calling `onExpr` / `onStmt` on each mutation-relevant node. The walk is
+/// identical for counting and for applying, which keeps site indices stable.
+class Walker {
+ public:
+  std::function<void(Expr&)> onExpr;
+  std::function<void(Stmt&)> onStmt;
+
+  void stmt(Stmt& s) {
+    if (onStmt) onStmt(s);
+    switch (s.kind) {
+      case Stmt::Kind::Decl:
+        for (auto& d : s.decl->dims) expr(*d);
+        if (s.decl->init) expr(*s.decl->init);
+        return;
+      case Stmt::Kind::Assign:
+        expr(*s.lhs);
+        expr(*s.rhs);
+        return;
+      case Stmt::Kind::If:
+        expr(*s.cond);
+        stmt(*s.thenStmt);
+        if (s.elseStmt) stmt(*s.elseStmt);
+        return;
+      case Stmt::Kind::For:
+        if (s.init) stmt(*s.init);
+        if (s.cond) expr(*s.cond);
+        if (s.step) stmt(*s.step);
+        stmt(*s.body);
+        return;
+      case Stmt::Kind::While:
+        expr(*s.cond);
+        stmt(*s.body);
+        return;
+      case Stmt::Kind::Block:
+        for (auto& st : s.stmts) stmt(*st);
+        return;
+      case Stmt::Kind::Assert:
+      case Stmt::Kind::Assume:
+      case Stmt::Kind::Postcond:
+        return;  // never mutate the specification
+      default:
+        return;
+    }
+  }
+
+  void expr(Expr& e) {
+    if (onExpr) onExpr(e);
+    for (auto& a : e.args) expr(*a);
+  }
+};
+
+bool isComparison(BinOp op) {
+  return op == BinOp::Lt || op == BinOp::Le || op == BinOp::Gt ||
+         op == BinOp::Ge;
+}
+
+BinOp swappedComparison(BinOp op) {
+  switch (op) {
+    case BinOp::Lt: return BinOp::Le;
+    case BinOp::Le: return BinOp::Lt;
+    case BinOp::Gt: return BinOp::Ge;
+    case BinOp::Ge: return BinOp::Gt;
+    default: return op;
+  }
+}
+
+/// Visits the kernel and fires `apply` on the `target`-th applicable site.
+/// Returns the number of applicable sites seen (and the description when a
+/// mutation fired).
+size_t visitSites(lang::Kernel& kernel, MutationKind kind, size_t target,
+                  bool apply, std::string* description) {
+  size_t count = 0;
+  bool done = false;
+  auto hit = [&](const std::function<void()>& fire,
+                 const std::string& what) {
+    if (apply && count == target && !done) {
+      fire();
+      done = true;
+      if (description) *description = what;
+    }
+    ++count;
+  };
+
+  Walker w;
+  switch (kind) {
+    case MutationKind::AddressOffByOne:
+      w.onExpr = [&](Expr& e) {
+        if (e.kind != Expr::Kind::Index) return;
+        std::ostringstream os;
+        os << e.name << "[...] index +1 at " << e.loc.str();
+        hit(
+            [&e]() {
+              auto& idx = e.args.front();
+              idx = lang::mkBinary(BinOp::Add, std::move(idx),
+                                   lang::mkIntLit(1, e.loc), e.loc);
+            },
+            os.str());
+      };
+      break;
+    case MutationKind::GuardNegate:
+      w.onStmt = [&](Stmt& s) {
+        if (s.kind != Stmt::Kind::If) return;
+        std::ostringstream os;
+        os << "negated if-guard at " << s.loc.str();
+        hit(
+            [&s]() {
+              s.cond = lang::mkUnary(lang::UnOp::LNot, std::move(s.cond),
+                                     s.loc);
+            },
+            os.str());
+      };
+      break;
+    case MutationKind::CompareSwap:
+      w.onExpr = [&](Expr& e) {
+        if (e.kind != Expr::Kind::Binary || !isComparison(e.binop)) return;
+        std::ostringstream os;
+        os << lang::binOpName(e.binop) << " -> "
+           << lang::binOpName(swappedComparison(e.binop)) << " at "
+           << e.loc.str();
+        hit([&e]() { e.binop = swappedComparison(e.binop); }, os.str());
+      };
+      break;
+    case MutationKind::ArithSwap:
+      w.onExpr = [&](Expr& e) {
+        if (e.kind != Expr::Kind::Binary ||
+            (e.binop != BinOp::Add && e.binop != BinOp::Mul))
+          return;
+        BinOp to = e.binop == BinOp::Add ? BinOp::Sub : BinOp::Add;
+        std::ostringstream os;
+        os << lang::binOpName(e.binop) << " -> " << lang::binOpName(to)
+           << " at " << e.loc.str();
+        hit([&e, to]() { e.binop = to; }, os.str());
+      };
+      break;
+    case MutationKind::ConstantTweak:
+      w.onExpr = [&](Expr& e) {
+        if (e.kind != Expr::Kind::IntLit) return;
+        std::ostringstream os;
+        os << "literal " << e.intValue << " -> " << e.intValue + 1 << " at "
+           << e.loc.str();
+        hit([&e]() { e.intValue += 1; }, os.str());
+      };
+      break;
+  }
+  w.stmt(*kernel.body);
+  return count;
+}
+
+}  // namespace
+
+const char* toString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::AddressOffByOne: return "address-off-by-one";
+    case MutationKind::GuardNegate: return "guard-negate";
+    case MutationKind::CompareSwap: return "compare-swap";
+    case MutationKind::ArithSwap: return "arith-swap";
+    case MutationKind::ConstantTweak: return "constant-tweak";
+  }
+  return "?";
+}
+
+size_t countSites(const lang::Kernel& kernel, MutationKind kind) {
+  // Counting must not mutate; clone and do a dry pass.
+  auto clone = kernel.clone();
+  return visitSites(*clone, kind, SIZE_MAX, /*apply=*/false, nullptr);
+}
+
+Mutant mutateAt(const lang::Kernel& kernel, MutationKind kind, size_t site) {
+  auto clone = kernel.clone();
+  std::string description;
+  const size_t sites = visitSites(*clone, kind, site, /*apply=*/true,
+                                  &description);
+  require(site < sites, "mutateAt: site index out of range");
+  clone->name = kernel.name + "_mut_" + toString(kind) + "_" +
+                std::to_string(site);
+  DiagnosticEngine diags;
+  lang::analyze(*clone, diags);
+  require(!diags.hasErrors(),
+          "mutant failed semantic analysis: " + diags.str());
+  Mutant m;
+  m.kernel = std::move(clone);
+  m.kind = kind;
+  m.description = description;
+  return m;
+}
+
+std::vector<Mutant> enumerateMutants(const lang::Kernel& kernel,
+                                     size_t maxPerKind) {
+  std::vector<Mutant> out;
+  for (MutationKind kind :
+       {MutationKind::AddressOffByOne, MutationKind::GuardNegate,
+        MutationKind::CompareSwap, MutationKind::ArithSwap,
+        MutationKind::ConstantTweak}) {
+    const size_t sites = countSites(kernel, kind);
+    for (size_t i = 0; i < std::min(sites, maxPerKind); ++i)
+      out.push_back(mutateAt(kernel, kind, i));
+  }
+  return out;
+}
+
+}  // namespace pugpara::kernels

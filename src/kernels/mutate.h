@@ -1,0 +1,46 @@
+// Bug-injection mutator: produces the paper's Table III "buggy versions" —
+// "bugs intentionally introduced within correct kernels, e.g. by modifying
+// the addresses of accesses on shared variables or the guards of
+// conditional statements".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/rng.h"
+
+namespace pugpara::kernels {
+
+enum class MutationKind {
+  AddressOffByOne,  // v[e] -> v[e + 1] (the paper's address modification)
+  GuardNegate,      // if (c) -> if (!c) (the paper's guard modification)
+  CompareSwap,      // < -> <=, > -> >=, ...
+  ArithSwap,        // + -> -, * -> +
+  ConstantTweak,    // literal c -> c + 1
+};
+
+[[nodiscard]] const char* toString(MutationKind kind);
+
+struct Mutant {
+  std::unique_ptr<lang::Kernel> kernel;  // sema-analyzed, renamed
+  MutationKind kind;
+  std::string description;  // what changed, with the source location
+};
+
+/// Number of applicable sites for `kind` in the kernel.
+[[nodiscard]] size_t countSites(const lang::Kernel& kernel,
+                                MutationKind kind);
+
+/// Applies `kind` at the `site`-th applicable location of a clone named
+/// `<kernel>_mut<N>`. Throws PugError when the site index is out of range
+/// or the mutant fails semantic analysis.
+[[nodiscard]] Mutant mutateAt(const lang::Kernel& kernel, MutationKind kind,
+                              size_t site);
+
+/// Up to `maxPerKind` mutants per kind (sites chosen from the front).
+[[nodiscard]] std::vector<Mutant> enumerateMutants(const lang::Kernel& kernel,
+                                                   size_t maxPerKind = 4);
+
+}  // namespace pugpara::kernels

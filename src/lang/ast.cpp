@@ -1,0 +1,228 @@
+#include "lang/ast.h"
+
+namespace pugpara::lang {
+
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::LAnd: return "&&";
+    case BinOp::LOr: return "||";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Implies: return "=>";
+  }
+  return "?";
+}
+
+const char* unOpName(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::LNot: return "!";
+    case UnOp::BitNot: return "~";
+  }
+  return "?";
+}
+
+const char* builtinName(BuiltinVar v) {
+  switch (v) {
+    case BuiltinVar::TidX: return "tid.x";
+    case BuiltinVar::TidY: return "tid.y";
+    case BuiltinVar::TidZ: return "tid.z";
+    case BuiltinVar::BidX: return "bid.x";
+    case BuiltinVar::BidY: return "bid.y";
+    case BuiltinVar::BdimX: return "bdim.x";
+    case BuiltinVar::BdimY: return "bdim.y";
+    case BuiltinVar::BdimZ: return "bdim.z";
+    case BuiltinVar::GdimX: return "gdim.x";
+    case BuiltinVar::GdimY: return "gdim.y";
+  }
+  return "?";
+}
+
+bool isBoolOp(BinOp op) {
+  switch (op) {
+    case BinOp::LAnd:
+    case BinOp::LOr:
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+    case BinOp::Implies:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---- Factories --------------------------------------------------------------
+
+ExprPtr mkIntLit(uint64_t v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::IntLit;
+  e->intValue = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkBoolLit(bool v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::BoolLit;
+  e->boolValue = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkVarRef(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::VarRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkBuiltin(BuiltinVar v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Builtin;
+  e->builtin = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkUnary(UnOp op, ExprPtr a, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->unop = op;
+  e->args.push_back(std::move(a));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkBinary(BinOp op, ExprPtr a, ExprPtr b, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->binop = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkTernary(ExprPtr c, ExprPtr t, ExprPtr el, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Ternary;
+  e->args.push_back(std::move(c));
+  e->args.push_back(std::move(t));
+  e->args.push_back(std::move(el));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkIndex(std::string base, std::vector<ExprPtr> indices, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Index;
+  e->name = std::move(base);
+  e->args = std::move(indices);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr mkCall(std::string callee, std::vector<ExprPtr> args, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Call;
+  e->name = std::move(callee);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+// ---- Clones -----------------------------------------------------------------
+// Clones carry no sema results (decl pointers, sharedDecls); re-run sema on
+// the cloned kernel before using it.
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  e->intValue = intValue;
+  e->boolValue = boolValue;
+  e->name = name;
+  e->builtin = builtin;
+  e->unop = unop;
+  e->binop = binop;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+std::unique_ptr<VarDecl> VarDecl::clone() const {
+  auto d = std::make_unique<VarDecl>();
+  d->name = name;
+  d->loc = loc;
+  d->type = type;
+  d->space = space;
+  d->paramIndex = paramIndex;
+  d->dims.reserve(dims.size());
+  for (const auto& e : dims) d->dims.push_back(e->clone());
+  if (init) d->init = init->clone();
+  return d;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  s->isCompound = isCompound;
+  s->compoundOp = compoundOp;
+  s->transparentScope = transparentScope;
+  if (decl) s->decl = decl->clone();
+  if (lhs) s->lhs = lhs->clone();
+  if (rhs) s->rhs = rhs->clone();
+  if (cond) s->cond = cond->clone();
+  if (init) s->init = init->clone();
+  if (step) s->step = step->clone();
+  if (thenStmt) s->thenStmt = thenStmt->clone();
+  if (elseStmt) s->elseStmt = elseStmt->clone();
+  if (body) s->body = body->clone();
+  s->stmts.reserve(stmts.size());
+  for (const auto& st : stmts) s->stmts.push_back(st->clone());
+  return s;
+}
+
+std::unique_ptr<Kernel> Kernel::clone() const {
+  auto k = std::make_unique<Kernel>();
+  k->name = name;
+  k->loc = loc;
+  k->params.reserve(params.size());
+  for (const auto& p : params) k->params.push_back(p->clone());
+  k->body = body->clone();
+  return k;
+}
+
+const VarDecl* Kernel::findParam(const std::string& paramName) const {
+  for (const auto& p : params)
+    if (p->name == paramName) return p.get();
+  return nullptr;
+}
+
+const Kernel* Program::findKernel(const std::string& kernelName) const {
+  for (const auto& k : kernels)
+    if (k->name == kernelName) return k.get();
+  return nullptr;
+}
+
+}  // namespace pugpara::lang

@@ -1,0 +1,181 @@
+// AST for the mini-CUDA kernel language.
+//
+// Design notes:
+//  * Arrays are always accessed through a named base variable plus index
+//    expressions (`block[tid.y][tid.x]`), which is exactly the shape the
+//    paper's conditional-assignment extraction consumes; there is no
+//    pointer arithmetic.
+//  * Nodes carry SourceLoc for diagnostics and are deep-clonable (the
+//    bug-injection mutator rewrites cloned kernels).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::lang {
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Rem,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  LAnd, LOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Implies,  // specification language only
+};
+
+enum class UnOp { Neg, LNot, BitNot };
+
+/// The CUDA built-in coordinate variables (paper abbreviations:
+/// tid = threadIdx, bid = blockIdx, bdim = blockDim, gdim = gridDim).
+enum class BuiltinVar {
+  TidX, TidY, TidZ,
+  BidX, BidY,
+  BdimX, BdimY, BdimZ,
+  GdimX, GdimY,
+};
+
+[[nodiscard]] const char* binOpName(BinOp op);
+[[nodiscard]] const char* unOpName(UnOp op);
+[[nodiscard]] const char* builtinName(BuiltinVar v);
+/// True for operators that yield a boolean (comparison / logical / implies).
+[[nodiscard]] bool isBoolOp(BinOp op);
+
+/// Scalar type of a declaration. Everything is a machine integer whose
+/// bit-width is chosen by the checker (the paper's 8b/16b/32b experiments);
+/// signedness affects division, remainder, shift-right and comparisons.
+struct Type {
+  bool isUnsigned = false;
+  bool isPointer = false;  // pointer parameter == global 1-D array
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+enum class MemSpace {
+  Private,  // per-thread local
+  Shared,   // per-block __shared__ array
+  Global,   // grid-visible array (pointer parameter)
+  Param,    // scalar kernel parameter (per-thread copy, writable)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct VarDecl {
+  std::string name;
+  SourceLoc loc;
+  Type type;
+  MemSpace space = MemSpace::Private;
+  std::vector<ExprPtr> dims;  // array dimensions; empty for scalars/pointers
+  ExprPtr init;               // optional initializer (private scalars)
+  size_t paramIndex = 0;      // ordinal among kernel parameters
+
+  [[nodiscard]] bool isArray() const {
+    return type.isPointer || !dims.empty();
+  }
+  [[nodiscard]] std::unique_ptr<VarDecl> clone() const;
+};
+
+struct Expr {
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    VarRef,   // `name` (+ resolved `decl`)
+    Builtin,  // tid.x etc.
+    Unary,    // args[0]
+    Binary,   // args[0], args[1]
+    Ternary,  // args[0] ? args[1] : args[2]
+    Index,    // `name`[args...] — base is always a named array
+    Call,     // min/max/abs(args...)
+  };
+
+  Kind kind = Kind::IntLit;
+  SourceLoc loc;
+  uint64_t intValue = 0;
+  bool boolValue = false;
+  std::string name;               // VarRef / Index base / Call callee
+  const VarDecl* decl = nullptr;  // resolved by sema for VarRef / Index
+  BuiltinVar builtin = BuiltinVar::TidX;
+  UnOp unop = UnOp::Neg;
+  BinOp binop = BinOp::Add;
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+// ---- Expression factory helpers (used by parser, tests and the mutator).
+[[nodiscard]] ExprPtr mkIntLit(uint64_t v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkBoolLit(bool v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkVarRef(std::string name, SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkBuiltin(BuiltinVar v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkUnary(UnOp op, ExprPtr a, SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkBinary(BinOp op, ExprPtr a, ExprPtr b,
+                               SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkTernary(ExprPtr c, ExprPtr t, ExprPtr e,
+                                SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkIndex(std::string base, std::vector<ExprPtr> indices,
+                              SourceLoc loc = {});
+[[nodiscard]] ExprPtr mkCall(std::string callee, std::vector<ExprPtr> args,
+                             SourceLoc loc = {});
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    Decl,
+    Assign,   // lhs (VarRef or Index) op= rhs; ++/-- are compound adds
+    If,
+    For,
+    While,
+    Block,
+    Barrier,  // __syncthreads()
+    Return,
+    Assert,
+    Assume,
+    Postcond,
+  };
+
+  Kind kind = Kind::Block;
+  SourceLoc loc;
+  std::unique_ptr<VarDecl> decl;  // Decl
+  ExprPtr lhs;                    // Assign
+  bool isCompound = false;        // Assign: lhs op= rhs
+  BinOp compoundOp = BinOp::Add;  // Assign when isCompound
+  ExprPtr rhs;                    // Assign
+  ExprPtr cond;                   // If / While / For / Assert / Assume / Postcond
+  StmtPtr init;                   // For
+  StmtPtr step;                   // For
+  StmtPtr thenStmt;               // If
+  StmtPtr elseStmt;               // If (may be null)
+  StmtPtr body;                   // For / While
+  std::vector<StmtPtr> stmts;     // Block
+  bool transparentScope = false;  // Block: synthetic, no new scope (e.g. the
+                                  // expansion of "int i, j;")
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+struct Kernel {
+  std::string name;
+  SourceLoc loc;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  StmtPtr body;  // Block
+
+  // Filled in by sema:
+  std::vector<const VarDecl*> sharedDecls;
+  bool usesBarrier = false;
+
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const;
+  /// Parameter lookup by name; nullptr when absent.
+  [[nodiscard]] const VarDecl* findParam(const std::string& name) const;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+
+  [[nodiscard]] const Kernel* findKernel(const std::string& name) const;
+};
+
+}  // namespace pugpara::lang

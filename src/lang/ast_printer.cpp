@@ -1,0 +1,194 @@
+#include "lang/ast_printer.h"
+
+#include <sstream>
+
+namespace pugpara::lang {
+
+namespace {
+
+void expr(std::ostream& os, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit: os << e.intValue; return;
+    case Expr::Kind::BoolLit: os << (e.boolValue ? "true" : "false"); return;
+    case Expr::Kind::VarRef: os << e.name; return;
+    case Expr::Kind::Builtin: os << builtinName(e.builtin); return;
+    case Expr::Kind::Unary:
+      os << unOpName(e.unop);
+      expr(os, *e.args[0]);
+      return;
+    case Expr::Kind::Binary:
+      os << '(';
+      expr(os, *e.args[0]);
+      os << ' ' << binOpName(e.binop) << ' ';
+      expr(os, *e.args[1]);
+      os << ')';
+      return;
+    case Expr::Kind::Ternary:
+      os << '(';
+      expr(os, *e.args[0]);
+      os << " ? ";
+      expr(os, *e.args[1]);
+      os << " : ";
+      expr(os, *e.args[2]);
+      os << ')';
+      return;
+    case Expr::Kind::Index:
+      os << e.name;
+      for (const auto& a : e.args) {
+        os << '[';
+        expr(os, *a);
+        os << ']';
+      }
+      return;
+    case Expr::Kind::Call: {
+      os << e.name << '(';
+      bool first = true;
+      for (const auto& a : e.args) {
+        if (!first) os << ", ";
+        first = false;
+        expr(os, *a);
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+void pad(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void typePrefix(std::ostream& os, const VarDecl& d) {
+  if (d.space == MemSpace::Shared) os << "__shared__ ";
+  if (d.type.isUnsigned) os << "unsigned ";
+  os << "int ";
+  if (d.type.isPointer) os << '*';
+}
+
+void stmt(std::ostream& os, const Stmt& s, int indent) {
+  switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      pad(os, indent);
+      typePrefix(os, *s.decl);
+      os << s.decl->name;
+      for (const auto& d : s.decl->dims) {
+        os << '[';
+        expr(os, *d);
+        os << ']';
+      }
+      if (s.decl->init) {
+        os << " = ";
+        expr(os, *s.decl->init);
+      }
+      os << ";\n";
+      return;
+    }
+    case Stmt::Kind::Assign:
+      pad(os, indent);
+      expr(os, *s.lhs);
+      os << ' ';
+      if (s.isCompound) os << binOpName(s.compoundOp);
+      os << "= ";
+      expr(os, *s.rhs);
+      os << ";\n";
+      return;
+    case Stmt::Kind::If:
+      pad(os, indent);
+      os << "if (";
+      expr(os, *s.cond);
+      os << ")\n";
+      stmt(os, *s.thenStmt, indent + 1);
+      if (s.elseStmt) {
+        pad(os, indent);
+        os << "else\n";
+        stmt(os, *s.elseStmt, indent + 1);
+      }
+      return;
+    case Stmt::Kind::For: {
+      pad(os, indent);
+      os << "for (";
+      // Inline renderings of init/step without trailing newlines.
+      if (s.init) {
+        std::string in = printStmt(*s.init, 0);
+        while (!in.empty() && (in.back() == '\n' || in.back() == ';'))
+          in.pop_back();
+        os << in;
+      }
+      os << "; ";
+      if (s.cond) expr(os, *s.cond);
+      os << "; ";
+      if (s.step) {
+        std::string st = printStmt(*s.step, 0);
+        while (!st.empty() && (st.back() == '\n' || st.back() == ';'))
+          st.pop_back();
+        os << st;
+      }
+      os << ")\n";
+      stmt(os, *s.body, indent + 1);
+      return;
+    }
+    case Stmt::Kind::While:
+      pad(os, indent);
+      os << "while (";
+      expr(os, *s.cond);
+      os << ")\n";
+      stmt(os, *s.body, indent + 1);
+      return;
+    case Stmt::Kind::Block:
+      pad(os, indent);
+      os << "{\n";
+      for (const auto& st : s.stmts) stmt(os, *st, indent + 1);
+      pad(os, indent);
+      os << "}\n";
+      return;
+    case Stmt::Kind::Barrier:
+      pad(os, indent);
+      os << "__syncthreads();\n";
+      return;
+    case Stmt::Kind::Return:
+      pad(os, indent);
+      os << "return;\n";
+      return;
+    case Stmt::Kind::Assert:
+    case Stmt::Kind::Assume:
+    case Stmt::Kind::Postcond:
+      pad(os, indent);
+      os << (s.kind == Stmt::Kind::Assert   ? "assert("
+             : s.kind == Stmt::Kind::Assume ? "assume("
+                                            : "postcond(");
+      expr(os, *s.cond);
+      os << ");\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string printExpr(const Expr& e) {
+  std::ostringstream os;
+  expr(os, e);
+  return os.str();
+}
+
+std::string printStmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  stmt(os, s, indent);
+  return os.str();
+}
+
+std::string printKernel(const Kernel& k) {
+  std::ostringstream os;
+  os << "__global__ void " << k.name << "(";
+  bool first = true;
+  for (const auto& p : k.params) {
+    if (!first) os << ", ";
+    first = false;
+    typePrefix(os, *p);
+    os << p->name;
+  }
+  os << ")\n";
+  stmt(os, *k.body, 0);
+  return os.str();
+}
+
+}  // namespace pugpara::lang

@@ -1,0 +1,15 @@
+// Pretty-printer: renders an AST back to (normalized) kernel source.
+// Used in reports, tests and to display mutated kernels.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace pugpara::lang {
+
+[[nodiscard]] std::string printExpr(const Expr& e);
+[[nodiscard]] std::string printStmt(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string printKernel(const Kernel& k);
+
+}  // namespace pugpara::lang

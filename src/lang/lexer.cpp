@@ -1,0 +1,224 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace pugpara::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywordTable() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"void", Tok::KwVoid},
+      {"int", Tok::KwInt},
+      {"unsigned", Tok::KwUnsigned},
+      {"uint", Tok::KwUnsigned},
+      {"bool", Tok::KwBool},
+      {"if", Tok::KwIf},
+      {"else", Tok::KwElse},
+      {"for", Tok::KwFor},
+      {"while", Tok::KwWhile},
+      {"return", Tok::KwReturn},
+      {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},
+      {"__global__", Tok::KwGlobal},
+      {"__device__", Tok::KwDevice},
+      {"__shared__", Tok::KwShared},
+      {"__syncthreads", Tok::KwSyncthreads},
+      {"assert", Tok::KwAssert},
+      {"assume", Tok::KwAssume},
+      {"postcond", Tok::KwPostcond},
+      // "float" appears in some SDK kernel texts (e.g. the transpose tile);
+      // the paper's tool is integer-only, so we read it as int.
+      {"float", Tok::KwInt},
+  };
+  return table;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (atEnd() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    if (atEnd()) return;
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (atEnd()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token t;
+  t.kind = Tok::Number;
+  t.loc = here();
+  uint64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char c = advance();
+      uint64_t digit = std::isdigit(static_cast<unsigned char>(c))
+                           ? static_cast<uint64_t>(c - '0')
+                           : static_cast<uint64_t>(std::tolower(c) - 'a' + 10);
+      value = value * 16 + digit;
+      any = true;
+    }
+    if (!any) diags_.error(t.loc, "hex literal needs at least one digit");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      value = value * 10 + static_cast<uint64_t>(advance() - '0');
+  }
+  // Integer suffixes (u, U, l, L) are accepted and ignored.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+    advance();
+  t.number = value;
+  return t;
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  Token t;
+  t.loc = here();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    name.push_back(advance());
+  const auto& kw = keywordTable();
+  auto it = kw.find(name);
+  if (it != kw.end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = Tok::Ident;
+    t.text = std::move(name);
+  }
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (atEnd()) break;
+    char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lexIdentOrKeyword());
+      continue;
+    }
+
+    Token t;
+    t.loc = here();
+    advance();
+    switch (c) {
+      case '(': t.kind = Tok::LParen; break;
+      case ')': t.kind = Tok::RParen; break;
+      case '{': t.kind = Tok::LBrace; break;
+      case '}': t.kind = Tok::RBrace; break;
+      case '[': t.kind = Tok::LBracket; break;
+      case ']': t.kind = Tok::RBracket; break;
+      case ',': t.kind = Tok::Comma; break;
+      case ';': t.kind = Tok::Semi; break;
+      case '.': t.kind = Tok::Dot; break;
+      case '?': t.kind = Tok::Question; break;
+      case ':': t.kind = Tok::Colon; break;
+      case '~': t.kind = Tok::Tilde; break;
+      case '+':
+        t.kind = match('+') ? Tok::PlusPlus
+                            : (match('=') ? Tok::PlusAssign : Tok::Plus);
+        break;
+      case '-':
+        t.kind = match('-') ? Tok::MinusMinus
+                            : (match('=') ? Tok::MinusAssign : Tok::Minus);
+        break;
+      case '*': t.kind = match('=') ? Tok::StarAssign : Tok::Star; break;
+      case '/': t.kind = match('=') ? Tok::SlashAssign : Tok::Slash; break;
+      case '%': t.kind = match('=') ? Tok::PercentAssign : Tok::Percent; break;
+      case '^': t.kind = match('=') ? Tok::CaretAssign : Tok::Caret; break;
+      case '&':
+        t.kind = match('&') ? Tok::AmpAmp
+                            : (match('=') ? Tok::AmpAssign : Tok::Amp);
+        break;
+      case '|':
+        t.kind = match('|') ? Tok::PipePipe
+                            : (match('=') ? Tok::PipeAssign : Tok::Pipe);
+        break;
+      case '!': t.kind = match('=') ? Tok::NotEq : Tok::Bang; break;
+      case '=':
+        if (match('=')) {
+          // "==>" is the spec-language implication; "==" is equality.
+          t.kind = match('>') ? Tok::Implies : Tok::EqEq;
+        } else if (match('>')) {
+          t.kind = Tok::Implies;
+        } else {
+          t.kind = Tok::Assign;
+        }
+        break;
+      case '<':
+        if (match('<')) {
+          t.kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+        } else {
+          t.kind = match('=') ? Tok::Le : Tok::Lt;
+        }
+        break;
+      case '>':
+        if (match('>')) {
+          t.kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+        } else {
+          t.kind = match('=') ? Tok::Ge : Tok::Gt;
+        }
+        break;
+      default:
+        diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+        continue;
+    }
+    out.push_back(t);
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = here();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace pugpara::lang

@@ -1,0 +1,41 @@
+// Hand-written lexer for the mini-CUDA language. Handles // and /* */
+// comments, decimal and hex literals, and the full operator set including
+// the specification implication "=>" / "==>".
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::lang {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole buffer; the last token is Tok::End. Lexical errors
+  /// are reported to the DiagnosticEngine and the offending character is
+  /// skipped, so the caller always gets a terminated stream.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skipWhitespaceAndComments();
+  [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+  Token lexNumber();
+  Token lexIdentOrKeyword();
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace pugpara::lang

@@ -1,0 +1,495 @@
+#include "lang/parser.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "lang/lexer.h"
+#include "lang/sema.h"
+
+namespace pugpara::lang {
+
+namespace {
+
+/// Internal unwinding token for panic-mode recovery; never escapes parse().
+struct ParseBailout {};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : toks_(std::move(tokens)), diags_(diags) {}
+
+  std::unique_ptr<Program> parseProgram() {
+    auto prog = std::make_unique<Program>();
+    while (!at(Tok::End)) {
+      try {
+        prog->kernels.push_back(parseKernel());
+      } catch (const ParseBailout&) {
+        synchronizeToKernel();
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // ---- Token plumbing -------------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(size_t ahead = 1) const {
+    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
+  }
+  [[nodiscard]] bool at(Tok t) const { return cur().is(t); }
+  Token advance() { return toks_[at(Tok::End) ? pos_ : pos_++]; }
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    advance();
+    return true;
+  }
+  Token expect(Tok t, const char* what) {
+    if (at(t)) return advance();
+    diags_.error(cur().loc, std::string("expected ") + tokName(t) + " " +
+                                what + ", found '" + cur().str() + "'");
+    throw ParseBailout{};
+  }
+  void synchronizeToKernel() {
+    while (!at(Tok::End) && !at(Tok::KwGlobal) && !at(Tok::KwVoid)) advance();
+  }
+
+  // ---- Declarations ----------------------------------------------------------
+  std::unique_ptr<Kernel> parseKernel() {
+    accept(Tok::KwGlobal);
+    accept(Tok::KwDevice);
+    expect(Tok::KwVoid, "before kernel name");
+    auto k = std::make_unique<Kernel>();
+    Token name = expect(Tok::Ident, "as kernel name");
+    k->name = name.text;
+    k->loc = name.loc;
+    expect(Tok::LParen, "to open the parameter list");
+    if (!at(Tok::RParen)) {
+      do {
+        k->params.push_back(parseParam(k->params.size()));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close the parameter list");
+    k->body = parseBlock();
+    return k;
+  }
+
+  std::optional<Type> tryParseType() {
+    Type t;
+    if (accept(Tok::KwUnsigned)) {
+      t.isUnsigned = true;
+      accept(Tok::KwInt);  // "unsigned int" or bare "unsigned"
+      return t;
+    }
+    if (accept(Tok::KwInt) || accept(Tok::KwBool)) return t;
+    return std::nullopt;
+  }
+
+  std::unique_ptr<VarDecl> parseParam(size_t index) {
+    auto ty = tryParseType();
+    if (!ty) {
+      diags_.error(cur().loc, "expected parameter type");
+      throw ParseBailout{};
+    }
+    auto d = std::make_unique<VarDecl>();
+    d->type = *ty;
+    d->paramIndex = index;
+    if (accept(Tok::Star)) d->type.isPointer = true;
+    Token name = expect(Tok::Ident, "as parameter name");
+    d->name = name.text;
+    d->loc = name.loc;
+    d->space = d->type.isPointer ? MemSpace::Global : MemSpace::Param;
+    return d;
+  }
+
+  // ---- Statements -------------------------------------------------------------
+  StmtPtr parseBlock() {
+    Token open = expect(Tok::LBrace, "to open a block");
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Block;
+    s->loc = open.loc;
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      try {
+        s->stmts.push_back(parseStmt());
+      } catch (const ParseBailout&) {
+        // Panic: skip to the next statement boundary inside this block.
+        while (!at(Tok::End) && !at(Tok::Semi) && !at(Tok::RBrace)) advance();
+        if (at(Tok::Semi)) advance();
+      }
+    }
+    expect(Tok::RBrace, "to close the block");
+    return s;
+  }
+
+  StmtPtr parseStmt() {
+    switch (cur().kind) {
+      case Tok::LBrace: return parseBlock();
+      case Tok::KwIf: return parseIf();
+      case Tok::KwFor: return parseFor();
+      case Tok::KwWhile: return parseWhile();
+      case Tok::KwSyncthreads: {
+        Token t = advance();
+        expect(Tok::LParen, "after __syncthreads");
+        expect(Tok::RParen, "after __syncthreads(");
+        expect(Tok::Semi, "after __syncthreads()");
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Barrier;
+        s->loc = t.loc;
+        return s;
+      }
+      case Tok::KwReturn: {
+        Token t = advance();
+        expect(Tok::Semi, "after return");
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Return;
+        s->loc = t.loc;
+        return s;
+      }
+      case Tok::KwAssert:
+      case Tok::KwAssume:
+      case Tok::KwPostcond: {
+        Token t = advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = t.is(Tok::KwAssert)   ? Stmt::Kind::Assert
+                  : t.is(Tok::KwAssume) ? Stmt::Kind::Assume
+                                        : Stmt::Kind::Postcond;
+        s->loc = t.loc;
+        expect(Tok::LParen, "after specification keyword");
+        s->cond = parseExpr();
+        expect(Tok::RParen, "to close the specification");
+        expect(Tok::Semi, "after specification statement");
+        return s;
+      }
+      case Tok::KwShared:
+      case Tok::KwUnsigned:
+      case Tok::KwInt:
+      case Tok::KwBool:
+        return parseDecl();
+      default:
+        return parseExprStmt(/*needSemi=*/true);
+    }
+  }
+
+  StmtPtr parseDecl() {
+    SourceLoc loc = cur().loc;
+    bool shared = accept(Tok::KwShared);
+    auto ty = tryParseType();
+    if (!ty) {
+      diags_.error(cur().loc, "expected type in declaration");
+      throw ParseBailout{};
+    }
+    // Multiple declarators expand into a Block of Decl statements.
+    std::vector<StmtPtr> decls;
+    do {
+      Token name = expect(Tok::Ident, "as variable name");
+      auto d = std::make_unique<VarDecl>();
+      d->name = name.text;
+      d->loc = name.loc;
+      d->type = *ty;
+      d->space = shared ? MemSpace::Shared : MemSpace::Private;
+      while (accept(Tok::LBracket)) {
+        d->dims.push_back(parseExpr());
+        expect(Tok::RBracket, "to close array dimension");
+      }
+      if (shared && d->dims.empty())
+        diags_.error(d->loc, "__shared__ variable must be an array");
+      if (accept(Tok::Assign)) {
+        if (!d->dims.empty())
+          diags_.error(d->loc, "array declarations cannot have initializers");
+        d->init = parseExpr();
+      }
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Decl;
+      s->loc = d->loc;
+      s->decl = std::move(d);
+      decls.push_back(std::move(s));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "after declaration");
+    if (decls.size() == 1) return std::move(decls.front());
+    auto blk = std::make_unique<Stmt>();
+    blk->kind = Stmt::Kind::Block;
+    blk->loc = loc;
+    blk->stmts = std::move(decls);
+    blk->transparentScope = true;
+    return blk;
+  }
+
+  StmtPtr parseIf() {
+    Token t = advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::If;
+    s->loc = t.loc;
+    expect(Tok::LParen, "after if");
+    s->cond = parseExpr();
+    expect(Tok::RParen, "to close the if condition");
+    s->thenStmt = parseStmt();
+    if (accept(Tok::KwElse)) s->elseStmt = parseStmt();
+    return s;
+  }
+
+  StmtPtr parseFor() {
+    Token t = advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::For;
+    s->loc = t.loc;
+    expect(Tok::LParen, "after for");
+    if (at(Tok::Semi)) {
+      advance();
+    } else if (at(Tok::KwInt) || at(Tok::KwUnsigned) || at(Tok::KwBool)) {
+      s->init = parseDecl();  // consumes the ';'
+    } else {
+      s->init = parseExprStmt(/*needSemi=*/true);
+    }
+    if (!at(Tok::Semi)) s->cond = parseExpr();
+    expect(Tok::Semi, "after for condition");
+    if (!at(Tok::RParen)) s->step = parseExprStmt(/*needSemi=*/false);
+    expect(Tok::RParen, "to close the for header");
+    s->body = parseStmt();
+    return s;
+  }
+
+  StmtPtr parseWhile() {
+    Token t = advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::While;
+    s->loc = t.loc;
+    expect(Tok::LParen, "after while");
+    s->cond = parseExpr();
+    expect(Tok::RParen, "to close the while condition");
+    s->body = parseStmt();
+    return s;
+  }
+
+  /// Assignment statement: `lvalue (op)= expr`, `lvalue++`, `lvalue--`.
+  StmtPtr parseExprStmt(bool needSemi) {
+    SourceLoc loc = cur().loc;
+    ExprPtr lhs = parsePostfix();
+    if (lhs->kind != Expr::Kind::VarRef && lhs->kind != Expr::Kind::Index) {
+      diags_.error(loc, "statement must be an assignment to a variable or "
+                        "array element");
+      throw ParseBailout{};
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Assign;
+    s->loc = loc;
+
+    static const std::unordered_map<Tok, BinOp> compound = {
+        {Tok::PlusAssign, BinOp::Add},    {Tok::MinusAssign, BinOp::Sub},
+        {Tok::StarAssign, BinOp::Mul},    {Tok::SlashAssign, BinOp::Div},
+        {Tok::PercentAssign, BinOp::Rem}, {Tok::AmpAssign, BinOp::BitAnd},
+        {Tok::PipeAssign, BinOp::BitOr},  {Tok::CaretAssign, BinOp::BitXor},
+        {Tok::ShlAssign, BinOp::Shl},     {Tok::ShrAssign, BinOp::Shr},
+    };
+
+    if (accept(Tok::Assign)) {
+      s->rhs = parseExpr();
+    } else if (auto it = compound.find(cur().kind); it != compound.end()) {
+      advance();
+      s->isCompound = true;
+      s->compoundOp = it->second;
+      s->rhs = parseExpr();
+    } else if (accept(Tok::PlusPlus)) {
+      s->isCompound = true;
+      s->compoundOp = BinOp::Add;
+      s->rhs = mkIntLit(1, loc);
+    } else if (accept(Tok::MinusMinus)) {
+      s->isCompound = true;
+      s->compoundOp = BinOp::Sub;
+      s->rhs = mkIntLit(1, loc);
+    } else {
+      diags_.error(cur().loc, "expected assignment operator");
+      throw ParseBailout{};
+    }
+    s->lhs = std::move(lhs);
+    if (needSemi) expect(Tok::Semi, "after assignment");
+    return s;
+  }
+
+  // ---- Expressions (C precedence; `=>` lowest, right-associative) ------------
+  ExprPtr parseExpr() { return parseImplies(); }
+
+  ExprPtr parseImplies() {
+    ExprPtr lhs = parseTernary();
+    if (accept(Tok::Implies)) {
+      SourceLoc loc = lhs->loc;
+      return mkBinary(BinOp::Implies, std::move(lhs), parseImplies(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr c = parseBinary(0);
+    if (accept(Tok::Question)) {
+      ExprPtr t = parseExpr();
+      expect(Tok::Colon, "in ternary expression");
+      SourceLoc loc = c->loc;
+      return mkTernary(std::move(c), std::move(t), parseTernary(), loc);
+    }
+    return c;
+  }
+
+  struct OpInfo {
+    BinOp op;
+    int prec;
+  };
+
+  static std::optional<OpInfo> binOpInfo(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return OpInfo{BinOp::LOr, 1};
+      case Tok::AmpAmp: return OpInfo{BinOp::LAnd, 2};
+      case Tok::Pipe: return OpInfo{BinOp::BitOr, 3};
+      case Tok::Caret: return OpInfo{BinOp::BitXor, 4};
+      case Tok::Amp: return OpInfo{BinOp::BitAnd, 5};
+      case Tok::EqEq: return OpInfo{BinOp::Eq, 6};
+      case Tok::NotEq: return OpInfo{BinOp::Ne, 6};
+      case Tok::Lt: return OpInfo{BinOp::Lt, 7};
+      case Tok::Le: return OpInfo{BinOp::Le, 7};
+      case Tok::Gt: return OpInfo{BinOp::Gt, 7};
+      case Tok::Ge: return OpInfo{BinOp::Ge, 7};
+      case Tok::Shl: return OpInfo{BinOp::Shl, 8};
+      case Tok::Shr: return OpInfo{BinOp::Shr, 8};
+      case Tok::Plus: return OpInfo{BinOp::Add, 9};
+      case Tok::Minus: return OpInfo{BinOp::Sub, 9};
+      case Tok::Star: return OpInfo{BinOp::Mul, 10};
+      case Tok::Slash: return OpInfo{BinOp::Div, 10};
+      case Tok::Percent: return OpInfo{BinOp::Rem, 10};
+      default: return std::nullopt;
+    }
+  }
+
+  ExprPtr parseBinary(int minPrec) {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      auto info = binOpInfo(cur().kind);
+      if (!info || info->prec < minPrec) return lhs;
+      advance();
+      ExprPtr rhs = parseBinary(info->prec + 1);  // left-associative
+      SourceLoc loc = lhs->loc;
+      lhs = mkBinary(info->op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc loc = cur().loc;
+    if (accept(Tok::Minus)) return mkUnary(UnOp::Neg, parseUnary(), loc);
+    if (accept(Tok::Bang)) return mkUnary(UnOp::LNot, parseUnary(), loc);
+    if (accept(Tok::Tilde)) return mkUnary(UnOp::BitNot, parseUnary(), loc);
+    if (accept(Tok::Plus)) return parseUnary();
+    // C-style casts "(int)e" / "(unsigned int)e" are accepted and ignored
+    // (all scalars share one checker-selected width).
+    if (at(Tok::LParen) && (peek().is(Tok::KwInt) || peek().is(Tok::KwUnsigned))) {
+      advance();
+      while (at(Tok::KwInt) || at(Tok::KwUnsigned)) advance();
+      expect(Tok::RParen, "to close the cast");
+      return parseUnary();
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr e = parsePrimary();
+    for (;;) {
+      if (at(Tok::LBracket)) {
+        if (e->kind != Expr::Kind::VarRef) {
+          diags_.error(cur().loc, "only named arrays can be indexed");
+          throw ParseBailout{};
+        }
+        std::string base = e->name;
+        SourceLoc loc = e->loc;
+        std::vector<ExprPtr> idx;
+        while (accept(Tok::LBracket)) {
+          idx.push_back(parseExpr());
+          expect(Tok::RBracket, "to close index");
+        }
+        e = mkIndex(std::move(base), std::move(idx), loc);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc loc = cur().loc;
+    if (at(Tok::Number)) return mkIntLit(advance().number, loc);
+    if (accept(Tok::KwTrue)) return mkBoolLit(true, loc);
+    if (accept(Tok::KwFalse)) return mkBoolLit(false, loc);
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parseExpr();
+      expect(Tok::RParen, "to close the parenthesized expression");
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      Token name = advance();
+      if (accept(Tok::Dot)) return parseBuiltinMember(name);
+      if (at(Tok::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!at(Tok::RParen)) {
+          do {
+            args.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close the call");
+        return mkCall(name.text, std::move(args), loc);
+      }
+      return mkVarRef(name.text, loc);
+    }
+    diags_.error(loc, "expected expression, found '" + cur().str() + "'");
+    throw ParseBailout{};
+  }
+
+  ExprPtr parseBuiltinMember(const Token& base) {
+    Token member = expect(Tok::Ident, "after '.'");
+    static const std::unordered_map<std::string, int> bases = {
+        {"tid", 0},  {"threadIdx", 0}, {"bid", 1},  {"blockIdx", 1},
+        {"bdim", 2}, {"blockDim", 2},  {"gdim", 3}, {"gridDim", 3},
+    };
+    auto bit = bases.find(base.text);
+    int axis = member.text == "x" ? 0 : member.text == "y" ? 1
+               : member.text == "z" ? 2 : -1;
+    if (bit == bases.end() || axis < 0) {
+      diags_.error(base.loc,
+                   "unknown builtin '" + base.text + "." + member.text + "'");
+      throw ParseBailout{};
+    }
+    static const BuiltinVar table[4][3] = {
+        {BuiltinVar::TidX, BuiltinVar::TidY, BuiltinVar::TidZ},
+        {BuiltinVar::BidX, BuiltinVar::BidY, BuiltinVar::BidY /*no bid.z*/},
+        {BuiltinVar::BdimX, BuiltinVar::BdimY, BuiltinVar::BdimZ},
+        {BuiltinVar::GdimX, BuiltinVar::GdimY, BuiltinVar::GdimY /*no .z*/},
+    };
+    if ((bit->second == 1 || bit->second == 3) && axis == 2) {
+      diags_.error(base.loc, "grids are at most 2-D: no '" + base.text +
+                                 ".z' builtin");
+      throw ParseBailout{};
+    }
+    return mkBuiltin(table[bit->second][axis], base.loc);
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parseProgram(std::string_view source,
+                                      DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  auto tokens = lexer.tokenize();
+  if (diags.hasErrors()) return std::make_unique<Program>();
+  Parser parser(std::move(tokens), diags);
+  return parser.parseProgram();
+}
+
+std::unique_ptr<Program> parseAndAnalyze(std::string_view source) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram(source, diags);
+  if (!diags.hasErrors()) {
+    for (auto& k : prog->kernels) analyze(*k, diags);
+  }
+  if (diags.hasErrors())
+    throw PugError("kernel front-end errors:\n" + diags.str());
+  return prog;
+}
+
+}  // namespace pugpara::lang

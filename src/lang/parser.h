@@ -1,0 +1,26 @@
+// Recursive-descent parser for the mini-CUDA language with C operator
+// precedence plus the lowest-precedence, right-associative specification
+// implication `=>`.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::lang {
+
+/// Parses a whole translation unit (one or more kernels). On syntax errors,
+/// diagnostics are reported to `diags` and the partially parsed program is
+/// returned; check diags.hasErrors().
+[[nodiscard]] std::unique_ptr<Program> parseProgram(std::string_view source,
+                                                    DiagnosticEngine& diags);
+
+/// Parses a single kernel and runs semantic analysis on it. Throws PugError
+/// (with the collected diagnostics in the message) on any error. This is the
+/// convenience entry point used by checkers, tests and examples.
+[[nodiscard]] std::unique_ptr<Program> parseAndAnalyze(
+    std::string_view source);
+
+}  // namespace pugpara::lang

@@ -1,0 +1,234 @@
+#include "lang/sema.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pugpara::lang {
+
+namespace {
+
+class Sema {
+ public:
+  Sema(Kernel& kernel, DiagnosticEngine& diags)
+      : kernel_(kernel), diags_(diags) {}
+
+  void run() {
+    kernel_.sharedDecls.clear();
+    kernel_.usesBarrier = false;
+    pushScope();
+    for (auto& p : kernel_.params) declare(p.get());
+    visitStmt(*kernel_.body);
+    popScope();
+  }
+
+ private:
+  using Scope = std::unordered_map<std::string, const VarDecl*>;
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  void declare(const VarDecl* d) {
+    auto& scope = scopes_.back();
+    if (scope.contains(d->name)) {
+      diags_.error(d->loc, "redeclaration of '" + d->name + "'");
+      return;
+    }
+    scope.emplace(d->name, d);
+  }
+
+  [[nodiscard]] const VarDecl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    return nullptr;
+  }
+
+  void visitStmt(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Decl: {
+        VarDecl* d = s.decl.get();
+        // Dimension expressions may only mention parameters and builtins
+        // (they must be block-uniform: evaluated once at launch).
+        for (auto& dim : d->dims) {
+          visitExpr(*dim);
+          checkUniform(*dim, "array dimension");
+        }
+        if (d->init) visitExpr(*d->init);
+        declare(d);
+        if (d->space == MemSpace::Shared) kernel_.sharedDecls.push_back(d);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        visitExpr(*s.lhs);
+        visitExpr(*s.rhs);
+        const VarDecl* target = s.lhs->decl;
+        if (target == nullptr) return;  // already diagnosed
+        if (s.lhs->kind == Expr::Kind::VarRef && target->isArray())
+          diags_.error(s.loc, "cannot assign to array '" + target->name +
+                                  "' without an index");
+        if (s.lhs->kind == Expr::Kind::Index && !target->isArray())
+          diags_.error(s.loc, "cannot index scalar '" + target->name + "'");
+        return;
+      }
+      case Stmt::Kind::If:
+        visitExpr(*s.cond);
+        visitStmt(*s.thenStmt);
+        if (s.elseStmt) visitStmt(*s.elseStmt);
+        return;
+      case Stmt::Kind::For:
+        pushScope();
+        if (s.init) visitStmt(*s.init);
+        if (s.cond) visitExpr(*s.cond);
+        if (s.step) visitStmt(*s.step);
+        visitStmt(*s.body);
+        popScope();
+        return;
+      case Stmt::Kind::While:
+        visitExpr(*s.cond);
+        visitStmt(*s.body);
+        return;
+      case Stmt::Kind::Block:
+        if (!s.transparentScope) pushScope();
+        for (auto& st : s.stmts) visitStmt(*st);
+        if (!s.transparentScope) popScope();
+        return;
+      case Stmt::Kind::Barrier:
+        kernel_.usesBarrier = true;
+        return;
+      case Stmt::Kind::Return:
+        return;
+      case Stmt::Kind::Assert:
+      case Stmt::Kind::Assume:
+      case Stmt::Kind::Postcond:
+        visitExpr(*s.cond);
+        return;
+    }
+  }
+
+  void visitExpr(Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+      case Expr::Kind::BoolLit:
+      case Expr::Kind::Builtin:
+        return;
+      case Expr::Kind::VarRef: {
+        const VarDecl* d = lookup(e.name);
+        if (d == nullptr) {
+          diags_.error(e.loc, "use of undeclared variable '" + e.name + "'");
+          return;
+        }
+        e.decl = d;
+        return;
+      }
+      case Expr::Kind::Index: {
+        const VarDecl* d = lookup(e.name);
+        if (d == nullptr) {
+          diags_.error(e.loc, "use of undeclared array '" + e.name + "'");
+        } else {
+          e.decl = d;
+          const size_t expected = d->type.isPointer ? 1 : d->dims.size();
+          if (!d->isArray()) {
+            diags_.error(e.loc, "'" + e.name + "' is not an array");
+          } else if (e.args.size() != expected) {
+            diags_.error(e.loc, "'" + e.name + "' expects " +
+                                    std::to_string(expected) +
+                                    " index(es), got " +
+                                    std::to_string(e.args.size()));
+          }
+        }
+        for (auto& a : e.args) visitExpr(*a);
+        return;
+      }
+      case Expr::Kind::Unary:
+        visitExpr(*e.args[0]);
+        return;
+      case Expr::Kind::Binary:
+        visitExpr(*e.args[0]);
+        visitExpr(*e.args[1]);
+        return;
+      case Expr::Kind::Ternary:
+        visitExpr(*e.args[0]);
+        visitExpr(*e.args[1]);
+        visitExpr(*e.args[2]);
+        return;
+      case Expr::Kind::Call: {
+        const bool known = e.name == "min" || e.name == "max";
+        const bool unary = e.name == "abs";
+        if (!known && !unary) {
+          diags_.error(e.loc, "unknown function '" + e.name +
+                                  "' (supported: min, max, abs)");
+        } else if (known && e.args.size() != 2) {
+          diags_.error(e.loc, "'" + e.name + "' expects 2 arguments");
+        } else if (unary && e.args.size() != 1) {
+          diags_.error(e.loc, "'abs' expects 1 argument");
+        }
+        for (auto& a : e.args) visitExpr(*a);
+        return;
+      }
+    }
+  }
+
+  /// Rejects expressions that depend on per-thread state (tid.*, private
+  /// variables) where block-uniform values are required.
+  void checkUniform(const Expr& e, const char* what) {
+    switch (e.kind) {
+      case Expr::Kind::Builtin:
+        if (e.builtin == BuiltinVar::TidX || e.builtin == BuiltinVar::TidY ||
+            e.builtin == BuiltinVar::TidZ)
+          diags_.error(e.loc, std::string(what) +
+                                  " must be uniform across the block; it "
+                                  "cannot mention tid");
+        return;
+      case Expr::Kind::VarRef:
+        if (e.decl != nullptr && e.decl->space == MemSpace::Private)
+          diags_.error(e.loc, std::string(what) +
+                                  " must be uniform across the block; it "
+                                  "cannot read private variable '" +
+                                  e.name + "'");
+        return;
+      default:
+        for (const auto& a : e.args) checkUniform(*a, what);
+        return;
+    }
+  }
+
+  Kernel& kernel_;
+  DiagnosticEngine& diags_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+void analyze(Kernel& kernel, DiagnosticEngine& diags) {
+  Sema(kernel, diags).run();
+}
+
+bool exprIsUnsigned(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::BoolLit:
+      return false;
+    case Expr::Kind::Builtin:
+      return true;  // uint3 threadIdx / blockIdx / blockDim / gridDim
+    case Expr::Kind::VarRef:
+      return e.decl != nullptr && e.decl->type.isUnsigned;
+    case Expr::Kind::Index:
+      return e.decl != nullptr && e.decl->type.isUnsigned;
+    case Expr::Kind::Unary:
+      return e.unop != UnOp::LNot && exprIsUnsigned(*e.args[0]);
+    case Expr::Kind::Binary:
+      if (isBoolOp(e.binop)) return false;  // comparisons yield bool/int
+      return exprIsUnsigned(*e.args[0]) || exprIsUnsigned(*e.args[1]);
+    case Expr::Kind::Ternary:
+      return exprIsUnsigned(*e.args[1]) || exprIsUnsigned(*e.args[2]);
+    case Expr::Kind::Call: {
+      bool u = false;
+      for (const auto& a : e.args) u = u || exprIsUnsigned(*a);
+      return u;
+    }
+  }
+  return false;
+}
+
+}  // namespace pugpara::lang

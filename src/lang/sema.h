@@ -1,0 +1,22 @@
+// Semantic analysis: name resolution, array-shape checking, and collection
+// of kernel-level facts (shared arrays, barrier usage).
+#pragma once
+
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::lang {
+
+/// Resolves every VarRef/Index to its declaration, validates shapes and
+/// assignment targets, and fills Kernel::sharedDecls / usesBarrier.
+/// Errors go to `diags`; the AST is usable only when !diags.hasErrors().
+void analyze(Kernel& kernel, DiagnosticEngine& diags);
+
+/// C-style signedness inference on a sema-resolved expression: an operation
+/// is unsigned when either operand is unsigned. CUDA builtins (tid/bid/...)
+/// are unsigned, literals signed. Division, remainder, shift-right and
+/// comparisons consult this; the VM and the symbolic encoders share it so
+/// concrete and symbolic semantics agree.
+[[nodiscard]] bool exprIsUnsigned(const Expr& e);
+
+}  // namespace pugpara::lang

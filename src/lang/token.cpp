@@ -1,0 +1,83 @@
+#include "lang/token.h"
+
+namespace pugpara::lang {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "<end>";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwVoid: return "void";
+    case Tok::KwInt: return "int";
+    case Tok::KwUnsigned: return "unsigned";
+    case Tok::KwBool: return "bool";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwFor: return "for";
+    case Tok::KwWhile: return "while";
+    case Tok::KwReturn: return "return";
+    case Tok::KwTrue: return "true";
+    case Tok::KwFalse: return "false";
+    case Tok::KwGlobal: return "__global__";
+    case Tok::KwDevice: return "__device__";
+    case Tok::KwShared: return "__shared__";
+    case Tok::KwSyncthreads: return "__syncthreads";
+    case Tok::KwAssert: return "assert";
+    case Tok::KwAssume: return "assume";
+    case Tok::KwPostcond: return "postcond";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Dot: return ".";
+    case Tok::Question: return "?";
+    case Tok::Colon: return ":";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Tilde: return "~";
+    case Tok::Bang: return "!";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::NotEq: return "!=";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::Assign: return "=";
+    case Tok::PlusAssign: return "+=";
+    case Tok::MinusAssign: return "-=";
+    case Tok::StarAssign: return "*=";
+    case Tok::SlashAssign: return "/=";
+    case Tok::PercentAssign: return "%=";
+    case Tok::AmpAssign: return "&=";
+    case Tok::PipeAssign: return "|=";
+    case Tok::CaretAssign: return "^=";
+    case Tok::ShlAssign: return "<<=";
+    case Tok::ShrAssign: return ">>=";
+    case Tok::PlusPlus: return "++";
+    case Tok::MinusMinus: return "--";
+    case Tok::Implies: return "=>";
+  }
+  return "?";
+}
+
+std::string Token::str() const {
+  if (kind == Tok::Ident) return text;
+  if (kind == Tok::Number) return std::to_string(number);
+  return tokName(kind);
+}
+
+}  // namespace pugpara::lang

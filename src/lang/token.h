@@ -1,0 +1,102 @@
+// Token definitions for the mini-CUDA kernel language.
+//
+// The language is the C subset CUDA SDK 2.0-era kernels are written in:
+// integer scalars and arrays, control flow, barriers, plus the
+// specification statements assert / assume / postcond used by the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::lang {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  Number,
+
+  // Keywords
+  KwVoid,
+  KwInt,
+  KwUnsigned,
+  KwBool,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  KwGlobal,       // __global__
+  KwDevice,       // __device__ (accepted, ignored)
+  KwShared,       // __shared__
+  KwSyncthreads,  // __syncthreads
+  KwAssert,
+  KwAssume,
+  KwPostcond,
+
+  // Punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Question,
+  Colon,
+
+  // Operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  AmpAssign,
+  PipeAssign,
+  CaretAssign,
+  ShlAssign,
+  ShrAssign,
+  PlusPlus,
+  MinusMinus,
+  Implies,  // "=>" or "==>" (specification language only)
+};
+
+[[nodiscard]] const char* tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;     // identifier spelling
+  uint64_t number = 0;  // numeric literal value
+
+  [[nodiscard]] bool is(Tok t) const { return kind == t; }
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace pugpara::lang

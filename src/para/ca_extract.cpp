@@ -1,0 +1,465 @@
+#include "para/ca_extract.h"
+
+#include <sstream>
+
+#include "expr/subst.h"
+#include "expr/walk.h"
+#include "lang/sema.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::para {
+
+namespace {
+
+using expr::Expr;
+using lang::BuiltinVar;
+using lang::MemSpace;
+using lang::Stmt;
+using lang::VarDecl;
+
+bool containsBarrier(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Barrier: return true;
+    case Stmt::Kind::If:
+      return containsBarrier(*s.thenStmt) ||
+             (s.elseStmt && containsBarrier(*s.elseStmt));
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+      return containsBarrier(*s.body);
+    case Stmt::Kind::Block:
+      for (const auto& st : s.stmts)
+        if (containsBarrier(*st)) return true;
+      return false;
+    default:
+      return false;
+  }
+}
+
+class CaExtractor {
+ public:
+  CaExtractor(expr::Context& ctx, const lang::Kernel& kernel,
+              const SymbolicConfig& cfg, const encode::EncodeOptions& opt,
+              std::string prefix)
+      : ctx_(ctx), kernel_(kernel), opt_(opt), prefix_(std::move(prefix)) {
+    out_.kernel = &kernel;
+    out_.width = opt.width;
+    out_.cfg = cfg;
+    out_.canonical =
+        ThreadInstance::fresh(ctx, cfg, opt.width, prefix_ + "_s");
+    out_.assumptions = ctx.mkAnd(cfg.constraints, out_.canonical.domain);
+    active_ = ctx.top();
+    effectiveGuard_ = ctx.top();
+  }
+
+  KernelSummary run() {
+    setupParams();
+    walk(*kernel_.body, ctx_.top());
+    closeBi();
+    closeSegment();
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] expr::Sort bvSort() const { return expr::Sort::bv(opt_.width); }
+  [[nodiscard]] expr::Sort arraySort() const {
+    return expr::Sort::array(opt_.width, opt_.width);
+  }
+
+  void setupParams() {
+    size_t arrPos = 0, sclPos = 0;
+    for (const auto& p : kernel_.params) {
+      if (p->type.isPointer) {
+        Expr a = ctx_.var("pp_arr" + std::to_string(arrPos++), arraySort());
+        out_.arrayParams.push_back(p.get());
+        out_.inputArrays.push_back(a);
+        out_.versions[p.get()] = {a};
+      } else {
+        Expr v;
+        if (auto c = opt_.concretize.find(p->name);
+            c != opt_.concretize.end()) {
+          v = ctx_.bvVal(c->second, opt_.width);
+        } else {
+          v = ctx_.var("pp_scl" + std::to_string(sclPos), bvSort());
+        }
+        ++sclPos;
+        out_.scalarParams.push_back(p.get());
+        out_.scalarInputs.push_back(v);
+        params_[p.get()] = v;
+      }
+    }
+  }
+
+  /// The state of `A` before the barrier interval being built.
+  Expr currentState(const VarDecl* A) {
+    auto it = out_.versions.find(A);
+    if (it == out_.versions.end()) {
+      // First touch of a __shared__ array: unconstrained initial state.
+      Expr v = ctx_.freshVar(prefix_ + "_" + A->name + "_v", arraySort());
+      out_.versions[A] = {v};
+      return v;
+    }
+    return it->second.back();
+  }
+
+  void closeBi() {
+    // Advance every written array to a fresh version variable; untouched
+    // arrays keep their variable (the resolver starts at the earliest index
+    // a variable appears at).
+    if (bi_.cas.empty() && bi_.reads.empty()) {
+      // Empty interval (e.g. trailing barrier): nothing to record.
+      bi_ = BiSummary{};
+      overlays_.clear();
+      return;
+    }
+    for (auto& [array, cas] : bi_.cas) {
+      Expr next = ctx_.freshVar(prefix_ + "_" + array->name + "_v",
+                                arraySort());
+      out_.producers.emplace(
+          next.node(), VersionInfo{array, cas, out_.versions[array].back()});
+      out_.versions[array].push_back(next);
+    }
+    for (auto& [array, versions] : out_.versions) {
+      if (!bi_.cas.contains(array)) versions.push_back(versions.back());
+    }
+    segmentBis_.push_back(std::move(bi_));
+    bi_ = BiSummary{};
+    overlays_.clear();
+  }
+
+  void closeSegment() {
+    Segment seg;
+    seg.bis = std::move(segmentBis_);
+    segmentBis_.clear();
+    fillBoundary(seg);
+    out_.segments.push_back(std::move(seg));
+  }
+
+  /// Records every array's entry/exit state for the segment being closed
+  /// and advances the entry snapshot.
+  void fillBoundary(Segment& seg) {
+    for (const auto& [array, versions] : out_.versions) {
+      Expr start = segStart_.contains(array) ? segStart_.at(array)
+                                             : versions.front();
+      Expr end = versions.back();
+      seg.startState[array] = start;
+      seg.endState[array] = end;
+      if (start != end) seg.writtenArrays.push_back(array);
+      segStart_[array] = end;
+    }
+  }
+
+  [[nodiscard]] encode::Translator makeTranslator() {
+    encode::EnvCallbacks cbs;
+    cbs.builtin = [this](BuiltinVar b) {
+      switch (b) {
+        case BuiltinVar::TidX:
+        case BuiltinVar::TidY:
+        case BuiltinVar::TidZ:
+        case BuiltinVar::BidX:
+        case BuiltinVar::BidY:
+          return out_.canonical.coord(b);
+        default:
+          return out_.cfg.dim(b);
+      }
+    };
+    cbs.readVar = [this](const VarDecl* d) { return readVar(d); };
+    cbs.readArray = [this](const VarDecl* d, Expr idx) {
+      return readArray(d, idx);
+    };
+    return encode::Translator(ctx_, opt_, std::move(cbs));
+  }
+
+  Expr readVar(const VarDecl* d) {
+    if (d->space == MemSpace::Param) return params_.at(d);
+    auto it = privates_.find(d);
+    if (it != privates_.end()) return it->second;
+    Expr fresh = ctx_.freshVar(prefix_ + "_" + d->name, bvSort());
+    privates_[d] = fresh;
+    out_.threadLocalFresh.push_back(fresh);
+    return fresh;
+  }
+
+  Expr readArray(const VarDecl* d, Expr idx) {
+    // Record the read (for race / coverage analysis)...
+    bi_.reads.push_back({effectiveGuard_, d, idx, curLoc_});
+    // ... and resolve through this thread's own earlier writes in this
+    // interval (a thread always sees its own stores; cross-thread intra-BI
+    // visibility would be a race).
+    Expr value = ctx_.mkSelect(currentState(d), idx);
+    auto ov = overlays_.find(d);
+    if (ov != overlays_.end()) {
+      for (const auto& w : ov->second)  // oldest..newest; newest wins
+        value = ctx_.mkIte(ctx_.mkAnd(w.guard, ctx_.mkEq(idx, w.addr)),
+                           w.value, value);
+    }
+    return value;
+  }
+
+  void writeArray(const VarDecl* d, Expr guard, Expr addr, Expr value,
+                  SourceLoc loc) {
+    (void)currentState(d);  // make sure version 0 exists
+    bi_.cas[d].push_back({guard, addr, value, loc});
+    overlays_[d].push_back({guard, addr, value, loc});
+  }
+
+  void walk(const Stmt& s, Expr guard) {
+    effectiveGuard_ = ctx_.mkAnd(guard, active_);
+    curLoc_ = s.loc;
+    encode::Translator tr = makeTranslator();
+    switch (s.kind) {
+      case Stmt::Kind::Decl: {
+        const VarDecl* d = s.decl.get();
+        if (d->space == MemSpace::Shared) return;
+        if (d->init) privates_[d] = tr.toBv(*d->init);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        Expr g = ctx_.mkAnd(guard, active_);
+        Expr value = tr.toBv(*s.rhs);
+        if (s.lhs->kind == lang::Expr::Kind::VarRef) {
+          const VarDecl* d = s.lhs->decl;
+          if (s.isCompound) value = compound(s, readVar(d), value);
+          privates_[d] = ctx_.mkIte(g, value, readVar(d));
+          return;
+        }
+        const VarDecl* d = s.lhs->decl;
+        Expr idx = tr.flatIndex(*s.lhs);
+        if (s.isCompound) {
+          // Re-read through the overlay so `v[e] op= x` sees prior stores.
+          effectiveGuard_ = g;
+          Expr old = readArray(d, idx);
+          value = compound(s, old, value);
+        }
+        writeArray(d, g, idx, value, s.loc);
+        return;
+      }
+      case Stmt::Kind::If: {
+        Expr c = tr.toBool(*s.cond);
+        if (containsBarrier(s))
+          throw PugError(
+              "parameterized encoding: barrier under a condition is not "
+              "supported (non-uniform barrier)");
+        if (c.isTrue()) {
+          walk(*s.thenStmt, guard);
+        } else if (c.isFalse()) {
+          if (s.elseStmt) walk(*s.elseStmt, guard);
+        } else {
+          walk(*s.thenStmt, ctx_.mkAnd(guard, c));
+          if (s.elseStmt) walk(*s.elseStmt, ctx_.mkAnd(guard, ctx_.mkNot(c)));
+        }
+        return;
+      }
+      case Stmt::Kind::For:
+        if (containsBarrier(s)) {
+          extractLoopSegment(s, guard);
+          return;
+        }
+        unrollLocally(s, guard);
+        return;
+      case Stmt::Kind::While:
+        if (containsBarrier(s))
+          throw PugError("parameterized encoding: barrier inside while loop "
+                         "is not supported");
+        unrollLocally(s, guard);
+        return;
+      case Stmt::Kind::Block:
+        for (const auto& st : s.stmts) walk(*st, guard);
+        return;
+      case Stmt::Kind::Barrier:
+        closeBi();
+        return;
+      case Stmt::Kind::Return:
+        active_ = ctx_.mkAnd(active_, ctx_.mkNot(ctx_.mkAnd(guard, active_)));
+        return;
+      case Stmt::Kind::Assert:
+        out_.asserts.push_back(
+            {ctx_.mkAnd(guard, active_), tr.toBool(*s.cond), s.loc});
+        return;
+      case Stmt::Kind::Assume: {
+        Expr cond = tr.toBool(*s.cond);
+        // Uniform assumptions constrain the configuration; per-thread ones
+        // are attached as implications over the canonical thread.
+        out_.assumptions = ctx_.mkAnd(
+            out_.assumptions,
+            ctx_.mkImplies(ctx_.mkAnd(guard, active_), cond));
+        return;
+      }
+      case Stmt::Kind::Postcond:
+        out_.postconds.push_back(&s);
+        return;
+    }
+  }
+
+  /// Unrolls a barrier-free loop; the trip structure must fold to constants
+  /// (typical case: bounds over concretized inputs or per-thread constants).
+  void unrollLocally(const Stmt& s, Expr guard) {
+    if (s.kind == Stmt::Kind::For && s.init) walk(*s.init, guard);
+    const lang::Expr* cond =
+        s.kind == Stmt::Kind::For ? s.cond.get() : s.cond.get();
+    for (uint32_t iter = 0;; ++iter) {
+      if (iter > opt_.maxUnroll)
+        throw PugError("parameterized encoding: loop unrolling exceeded the "
+                       "configured bound");
+      if (cond) {
+        Expr c = makeTranslator().toBool(*cond);
+        if (!c.isConst())
+          throw PugError(
+              "parameterized encoding: loop bound does not fold; concretize "
+              "the configuration or inputs it reads (+C)");
+        if (c.isFalse()) break;
+      }
+      walk(*s.body, guard);
+      if (s.kind == Stmt::Kind::For && s.step) walk(*s.step, guard);
+      if (!cond) break;
+    }
+  }
+
+  /// A barrier-carrying loop becomes a LoopSegment with a symbolic counter
+  /// (consumed only by the loop-aligned equivalence path, Sec. IV-E).
+  void extractLoopSegment(const Stmt& s, Expr guard) {
+    require(guard.isTrue() && active_.isTrue(),
+            "parameterized encoding: barrier-carrying loop under divergent "
+            "control flow");
+    require(!inLoopBody_,
+            "parameterized encoding: nested barrier-carrying loops are not "
+            "supported (concretize the configuration instead)");
+    inLoopBody_ = true;
+    closeBi();
+    closeSegment();
+
+    LoopSegment loop;
+    encode::Translator tr = makeTranslator();
+
+    // Counter identification mirrors the SSA encoder's rules.
+    if (s.init && s.init->kind == Stmt::Kind::Decl) {
+      loop.counter = s.init->decl.get();
+      require(loop.counter->init != nullptr,
+              "barrier-carrying loop needs an initialized counter");
+      loop.initValue = tr.toBv(*loop.counter->init);
+    } else if (s.init && s.init->kind == Stmt::Kind::Assign &&
+               s.init->lhs->kind == lang::Expr::Kind::VarRef) {
+      loop.counter = s.init->lhs->decl;
+      loop.initValue = tr.toBv(*s.init->rhs);
+    } else {
+      throw PugError("unsupported barrier-carrying loop initializer");
+    }
+    require(s.cond != nullptr && s.step != nullptr,
+            "barrier-carrying loop needs a condition and a step");
+
+    loop.k = ctx_.freshVar(prefix_ + "_k", bvSort());
+    privates_[loop.counter] = loop.k;
+    loop.guard = makeTranslator().toBool(*s.cond);
+
+    // The loop body runs against fresh "iteration input" states; give every
+    // known array a fresh boundary version.
+    for (auto& [array, versions] : out_.versions) {
+      versions.push_back(
+          ctx_.freshVar(prefix_ + "_" + array->name + "_loopin", arraySort()));
+      segStart_[array] = versions.back();
+    }
+
+    // Extract the body intervals into the loop segment.
+    auto savedSegment = std::move(segmentBis_);
+    segmentBis_.clear();
+    walk(*s.body, ctx_.top());
+    closeBi();
+    loop.bodyBis = std::move(segmentBis_);
+    segmentBis_ = std::move(savedSegment);
+
+    // Step: counter value after one iteration, as a function of k.
+    require(s.step->kind == Stmt::Kind::Assign &&
+                s.step->lhs->kind == lang::Expr::Kind::VarRef &&
+                s.step->lhs->decl == loop.counter,
+            "barrier-carrying loop must step its own counter");
+    {
+      encode::Translator str = makeTranslator();
+      Expr rhs = str.toBv(*s.step->rhs);
+      loop.stepNext =
+          s.step->isCompound ? compound(*s.step, loop.k, rhs) : rhs;
+    }
+
+    Segment seg;
+    seg.loop = std::move(loop);
+    fillBoundary(seg);
+
+    // After the loop the state is again unknown parametrically.
+    for (auto& [array, versions] : out_.versions) {
+      versions.push_back(
+          ctx_.freshVar(prefix_ + "_" + array->name + "_loopout",
+                        arraySort()));
+      segStart_[array] = versions.back();
+    }
+    privates_.erase(seg.loop->counter);
+    out_.segments.push_back(std::move(seg));
+    inLoopBody_ = false;
+  }
+
+  Expr compound(const Stmt& s, Expr old, Expr rhs) {
+    const bool uns =
+        lang::exprIsUnsigned(*s.lhs) || lang::exprIsUnsigned(*s.rhs);
+    switch (s.compoundOp) {
+      case lang::BinOp::Add: return ctx_.mkAdd(old, rhs);
+      case lang::BinOp::Sub: return ctx_.mkSub(old, rhs);
+      case lang::BinOp::Mul: return ctx_.mkMul(old, rhs);
+      case lang::BinOp::Div:
+        return uns ? ctx_.mkUDiv(old, rhs) : ctx_.mkSDiv(old, rhs);
+      case lang::BinOp::Rem:
+        return uns ? ctx_.mkURem(old, rhs) : ctx_.mkSRem(old, rhs);
+      case lang::BinOp::BitAnd: return ctx_.mkBvAnd(old, rhs);
+      case lang::BinOp::BitOr: return ctx_.mkBvOr(old, rhs);
+      case lang::BinOp::BitXor: return ctx_.mkBvXor(old, rhs);
+      case lang::BinOp::Shl: return ctx_.mkShl(old, rhs);
+      case lang::BinOp::Shr:
+        return uns ? ctx_.mkLShr(old, rhs) : ctx_.mkAShr(old, rhs);
+      default:
+        throw PugError("unsupported compound assignment operator");
+    }
+  }
+
+  expr::Context& ctx_;
+  const lang::Kernel& kernel_;
+  const encode::EncodeOptions& opt_;
+  std::string prefix_;
+  KernelSummary out_;
+
+  std::unordered_map<const VarDecl*, Expr> params_;
+  std::unordered_map<const VarDecl*, Expr> privates_;
+  std::unordered_map<const VarDecl*, std::vector<ConditionalAssignment>>
+      overlays_;
+  Expr active_ = expr::Expr();
+  Expr effectiveGuard_ = expr::Expr();
+  SourceLoc curLoc_;
+
+  BiSummary bi_;
+  std::vector<BiSummary> segmentBis_;
+  std::unordered_map<const VarDecl*, Expr> segStart_;
+  bool inLoopBody_ = false;
+};
+
+}  // namespace
+
+std::vector<const BiSummary*> KernelSummary::plainBis() const {
+  std::vector<const BiSummary*> out;
+  for (const auto& seg : segments) {
+    require(!seg.loop.has_value(),
+            "plainBis: summary contains a barrier-carrying loop; use the "
+            "loop-aligned equivalence path");
+    for (const auto& bi : seg.bis) out.push_back(&bi);
+  }
+  return out;
+}
+
+size_t KernelSummary::biCount() const {
+  size_t n = 0;
+  for (const auto& seg : segments) n += seg.bis.size();
+  return n;
+}
+
+KernelSummary extractSummary(expr::Context& ctx, const lang::Kernel& kernel,
+                             const SymbolicConfig& cfg,
+                             const encode::EncodeOptions& options,
+                             const std::string& prefix) {
+  return CaExtractor(ctx, kernel, cfg, options, prefix).run();
+}
+
+}  // namespace pugpara::para

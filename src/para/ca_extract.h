@@ -1,0 +1,127 @@
+// Conditional-assignment (CA) extraction for the parameterized encoding
+// (paper Sec. IV-A/B): one parametric thread is symbolically executed per
+// barrier interval; every shared/global write becomes a CA
+// ⟨guard c(s), array, address e(s), value w(s)⟩ over the canonical thread
+// variables, and every read is recorded for race analysis.
+//
+// Values read from arrays refer to *version variables*: V(A, j) is the
+// symbolic state of array A after barrier interval j (V(A, 0) is the input
+// state). The resolver (para/resolve.h) later replaces selects on version
+// variables by instantiated CA chains.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/ssa_encoder.h"
+#include "para/thread_dim.h"
+
+namespace pugpara::para {
+
+struct ConditionalAssignment {
+  expr::Expr guard;  // over canonical thread vars, config and scalar inputs
+  expr::Expr addr;
+  expr::Expr value;  // may select version variables of the previous interval
+  SourceLoc loc;
+};
+
+struct ReadRecord {
+  expr::Expr guard;
+  const lang::VarDecl* array = nullptr;
+  expr::Expr addr;
+  SourceLoc loc;
+};
+
+struct BiSummary {
+  /// CAs per array, in program order (later CAs come from later statements).
+  std::unordered_map<const lang::VarDecl*, std::vector<ConditionalAssignment>>
+      cas;
+  std::vector<ReadRecord> reads;
+};
+
+/// A barrier-carrying loop kept symbolic for loop-aligned equivalence
+/// checking (Sec. IV-E). The loop counter is replaced by the fresh symbolic
+/// variable `k` throughout `bodyBis`.
+struct LoopSegment {
+  const lang::VarDecl* counter = nullptr;
+  expr::Expr k;          // symbolic iteration variable
+  expr::Expr initValue;  // uniform initial counter value
+  expr::Expr guard;      // loop condition as a predicate over k
+  expr::Expr stepNext;   // counter value after one iteration, over k
+  std::vector<BiSummary> bodyBis;
+};
+
+struct Segment {
+  std::vector<BiSummary> bis;       // plain run of barrier intervals
+  std::optional<LoopSegment> loop;  // or one barrier-carrying loop
+
+  /// State variable of every array at segment entry / exit. For a loop
+  /// segment, endState is the state after ONE body iteration (entry state =
+  /// the fresh iteration-input variables).
+  std::unordered_map<const lang::VarDecl*, expr::Expr> startState;
+  std::unordered_map<const lang::VarDecl*, expr::Expr> endState;
+  /// Arrays written inside the segment (startState != endState).
+  std::vector<const lang::VarDecl*> writtenArrays;
+};
+
+/// Provenance of one array-version variable: the CAs of the interval that
+/// produced it and the version variable holding the state before that
+/// interval. Version variables without an entry are *base states* (kernel
+/// inputs, fresh shared memory, loop boundaries) and resolution stops there.
+struct VersionInfo {
+  const lang::VarDecl* array = nullptr;
+  std::vector<ConditionalAssignment> cas;
+  expr::Expr prev;
+};
+
+struct KernelSummary {
+  const lang::Kernel* kernel = nullptr;
+  uint32_t width = 0;
+  ThreadInstance canonical;  // the parametric thread `s`
+  SymbolicConfig cfg;
+  expr::Expr assumptions;  // cfg constraints + uniform assume() statements
+
+  std::vector<Segment> segments;
+
+  /// Version variables: versions[A] is the chronological sequence of A's
+  /// state variables (index 0 = initial, back() = final).
+  std::unordered_map<const lang::VarDecl*, std::vector<expr::Expr>> versions;
+
+  /// Provenance per version variable (see VersionInfo).
+  std::unordered_map<const expr::Node*, VersionInfo> producers;
+
+  /// Fresh variables standing for a thread-local uninitialized read; these
+  /// must be re-freshened per thread instance during resolution.
+  std::vector<expr::Expr> threadLocalFresh;
+
+  std::vector<const lang::VarDecl*> arrayParams;
+  std::vector<expr::Expr> inputArrays;
+  std::vector<const lang::VarDecl*> scalarParams;
+  std::vector<expr::Expr> scalarInputs;
+
+  std::vector<encode::Obligation> asserts;  // over the canonical thread
+  std::vector<const lang::Stmt*> postconds;
+
+  [[nodiscard]] bool hasLoops() const {
+    for (const auto& s : segments)
+      if (s.loop.has_value()) return true;
+    return false;
+  }
+  /// Flattened intervals of a loop-free summary (PugError if it has loops).
+  [[nodiscard]] std::vector<const BiSummary*> plainBis() const;
+  /// Total number of plain intervals.
+  [[nodiscard]] size_t biCount() const;
+};
+
+/// Extracts the summary of a sema-analyzed kernel. Inputs are named by
+/// position ("pp_arr0", ...), so two kernels extracted in one Context share
+/// them. Barrier-carrying loops become LoopSegments (only the loop-aligned
+/// equivalence path can consume those).
+[[nodiscard]] KernelSummary extractSummary(expr::Context& ctx,
+                                           const lang::Kernel& kernel,
+                                           const SymbolicConfig& cfg,
+                                           const encode::EncodeOptions& options,
+                                           const std::string& prefix);
+
+}  // namespace pugpara::para

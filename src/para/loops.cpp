@@ -1,0 +1,99 @@
+#include "para/loops.h"
+
+#include "expr/subst.h"
+#include "expr/walk.h"
+
+namespace pugpara::para {
+
+using expr::Expr;
+using expr::Kind;
+
+HeaderAlignment alignHeaders(expr::Context& ctx, const LoopSegment& src,
+                             const LoopSegment& tgt) {
+  (void)ctx;
+  // Rebase the target header onto the source counter; thanks to hash
+  // consing, structural equality is pointer equality.
+  Expr guardT = expr::substitute(tgt.guard, tgt.k, src.k);
+  Expr stepT = expr::substitute(tgt.stepNext, tgt.k, src.k);
+  if (src.initValue == tgt.initValue && src.guard == guardT &&
+      src.stepNext == stepT)
+    return HeaderAlignment::Identical;
+  if (isCommutativeAccumulation(src) && isCommutativeAccumulation(tgt))
+    return HeaderAlignment::Commutative;
+  return HeaderAlignment::Failed;
+}
+
+namespace {
+
+/// v[e] = select(v_prev, e) (op) w — possibly wrapped in the extraction's
+/// own-write overlay ites. We look for a top-level commutative-associative
+/// operator with a select at the written address on either side.
+bool isAccumulatorValue(const ConditionalAssignment& ca) {
+  Expr v = ca.value;
+  switch (v.kind()) {
+    case Kind::BvAdd:
+    case Kind::BvMul:
+    case Kind::BvAnd:
+    case Kind::BvOr:
+    case Kind::BvXor:
+      break;
+    default:
+      return false;
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    Expr side = v.kid(i);
+    // Accept select(..., addr) or an overlay ite whose default is one.
+    while (side.kind() == Kind::Ite) side = side.kid(2);
+    if (side.kind() == Kind::Select && side.kid(1) == ca.addr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Expr loopReachabilityInvariant(expr::Context& ctx, const LoopSegment& loop,
+                               uint32_t width) {
+  Expr k = loop.k;
+  Expr zero = ctx.bvVal(0, width);
+  // k *= 2 (also written k << 1).
+  if (loop.stepNext == ctx.mkMul(k, ctx.bvVal(2, width)) ||
+      loop.stepNext == ctx.mkShl(k, ctx.bvVal(1, width))) {
+    if (loop.initValue.isBvConst()) {
+      const uint64_t init = loop.initValue.bvValue();
+      if (init != 0 && (init & (init - 1)) == 0) {
+        Expr pow2 = ctx.mkAnd(
+            ctx.mkNe(k, zero),
+            ctx.mkEq(ctx.mkBvAnd(k, ctx.mkSub(k, ctx.bvVal(1, width))),
+                     zero));
+        return ctx.mkAnd(pow2, ctx.mkUle(loop.initValue, k));
+      }
+    }
+  }
+  // k += c with a constant c (either operand order after canonicalization).
+  if (loop.stepNext.kind() == Kind::BvAdd &&
+      ((loop.stepNext.kid(0) == k && loop.stepNext.kid(1).isBvConst()) ||
+       (loop.stepNext.kid(1) == k && loop.stepNext.kid(0).isBvConst()))) {
+    Expr c = loop.stepNext.kid(0) == k ? loop.stepNext.kid(1)
+                                       : loop.stepNext.kid(0);
+    return ctx.mkAnd(
+        ctx.mkUle(loop.initValue, k),
+        ctx.mkEq(ctx.mkURem(ctx.mkSub(k, loop.initValue), c), zero));
+  }
+  return ctx.top();
+}
+
+bool isCommutativeAccumulation(const LoopSegment& loop) {
+  bool sawCa = false;
+  for (const BiSummary& bi : loop.bodyBis) {
+    for (const auto& [array, cas] : bi.cas) {
+      (void)array;
+      for (const ConditionalAssignment& ca : cas) {
+        sawCa = true;
+        if (!isAccumulatorValue(ca)) return false;
+      }
+    }
+  }
+  return sawCa;
+}
+
+}  // namespace pugpara::para

@@ -1,0 +1,42 @@
+// Loop alignment for the parameterized equivalence check (Sec. IV-E).
+//
+// Typical CUDA optimizations (memory coalescing, bank-conflict elimination)
+// preserve loop structure, so the two kernels' barrier-carrying loops can be
+// matched pairwise and their bodies compared per-iteration with a shared
+// symbolic counter. When the headers differ only in iteration *order* (the
+// paper's modulo-vs-strided reduction), alignment still goes through if both
+// bodies are commutative-associative accumulations — this is recorded as a
+// caveat because iteration-set equality is assumed, not proven.
+#pragma once
+
+#include "para/ca_extract.h"
+
+namespace pugpara::para {
+
+enum class HeaderAlignment {
+  Identical,    // same init / guard / step after normalization
+  Commutative,  // different headers, but both bodies are CA-accumulations
+  Failed,
+};
+
+/// Compares two loop headers. `kS`/`kT` are the kernels' symbolic counters;
+/// the target header is rebased onto the source counter before comparison.
+[[nodiscard]] HeaderAlignment alignHeaders(expr::Context& ctx,
+                                           const LoopSegment& src,
+                                           const LoopSegment& tgt);
+
+/// True when every CA in the loop body has the accumulator shape
+/// v[e] = v[e] (op) w with a commutative-associative op — the paper's
+/// precondition for reordering iterations.
+[[nodiscard]] bool isCommutativeAccumulation(const LoopSegment& loop);
+
+/// Over-approximation of the counter values the loop header can reach.
+/// Recognized shapes: doubling from a power-of-two initial value (k *= 2 /
+/// k <<= 1) and constant additive steps (k += c). Unrecognized shapes yield
+/// `true` (sound for proving; may surface spurious counterexample
+/// candidates, which replay filters).
+[[nodiscard]] expr::Expr loopReachabilityInvariant(expr::Context& ctx,
+                                                   const LoopSegment& loop,
+                                                   uint32_t width);
+
+}  // namespace pugpara::para

@@ -1,0 +1,107 @@
+#include "para/monotone.h"
+
+#include "expr/subst.h"
+#include "expr/walk.h"
+
+namespace pugpara::para {
+
+using expr::Expr;
+
+MonotoneAnalyzer::MonotoneAnalyzer(expr::Context& ctx, Expr assumptions,
+                                   uint32_t timeoutMs)
+    : ctx_(ctx), assumptions_(assumptions), solver_(smt::makeZ3Solver()) {
+  solver_->setTimeoutMs(timeoutMs);
+  solver_->add(assumptions_);
+}
+
+bool MonotoneAnalyzer::refuted(Expr formula) {
+  ++sideQueries_;
+  solver_->push();
+  solver_->add(formula);
+  const bool unsat = solver_->check() == smt::CheckResult::Unsat;
+  solver_->pop();
+  return unsat;
+}
+
+std::optional<size_t> singleAxis(Expr guard, Expr addr,
+                                 const std::vector<Expr>& threadVars) {
+  std::optional<size_t> axis;
+  auto scan = [&](Expr e) -> bool {
+    for (Expr v : expr::freeVars(e)) {
+      for (size_t i = 0; i < threadVars.size(); ++i) {
+        if (v != threadVars[i]) continue;
+        if (axis.has_value() && *axis != i) return false;  // second axis
+        axis = i;
+      }
+    }
+    return true;
+  };
+  if (!scan(guard) || !scan(addr)) return std::nullopt;
+  return axis;  // may be nullopt: thread-independent CA (uniform write)
+}
+
+std::optional<Expr> MonotoneAnalyzer::certificate(Expr guard, Expr addr,
+                                                  Expr axis, Expr extent,
+                                                  Expr readAddr) {
+  const uint32_t w = axis.sort().width();
+  Expr zero = ctx_.bvVal(0, w);
+  Expr one = ctx_.bvVal(1, w);
+
+  auto p = [&](Expr t) { return expr::substitute(guard, axis, t); };
+  auto g = [&](Expr t) { return expr::substitute(addr, axis, t); };
+
+  Expr u = ctx_.freshVar("mono_u", axis.sort());
+  Expr u2 = ctx_.mkAdd(u, one);
+  // An adjacent guarded pair inside the domain. The explicit u < u+1
+  // excludes the phantom wraparound pair (u = 2^w-1, u+1 = 0), which cannot
+  // arise for real thread ids (u < extent <= 2^w - 1 already).
+  Expr adjacent =
+      ctx_.mkAnd(ctx_.mkAnd(ctx_.mkUlt(u, u2), ctx_.mkUlt(u2, extent)),
+                 ctx_.mkAnd(p(u), p(u2)));
+
+  // Side condition 1: strict monotonicity over adjacent guarded indices.
+  const bool increasing =
+      refuted(ctx_.mkAnd(adjacent, ctx_.mkNot(ctx_.mkUlt(g(u), g(u2)))));
+  bool decreasing = false;
+  if (!increasing)
+    decreasing =
+        refuted(ctx_.mkAnd(adjacent, ctx_.mkNot(ctx_.mkUlt(g(u2), g(u)))));
+  if (!increasing && !decreasing) return std::nullopt;
+
+  // Side condition 2: the guard carves a contiguous prefix of [0, extent):
+  // if index u is guarded then so is every smaller index v.
+  Expr v = ctx_.freshVar("mono_v", axis.sort());
+  Expr prefixBroken =
+      ctx_.mkAnd(ctx_.mkAnd(ctx_.mkUlt(v, u), ctx_.mkUlt(u, extent)),
+                 ctx_.mkAnd(p(u), ctx_.mkNot(p(v))));
+  if (!refuted(prefixBroken)) return std::nullopt;
+
+  // "x strictly before y in write order" (flips for decreasing g).
+  auto before = [&](Expr x, Expr y) {
+    return increasing ? ctx_.mkUlt(x, y) : ctx_.mkUlt(y, x);
+  };
+
+  // Certificate with ONE fresh witness t0 (the paper's construction):
+  //   - no thread is guarded at all, or
+  //   - readAddr lies before the first write, or
+  //   - t0 is the last guarded thread and readAddr lies after its write, or
+  //   - t0, t0+1 are both guarded and readAddr falls strictly between.
+  Expr t0 = ctx_.freshVar("fr_t", axis.sort());
+  Expr t1 = ctx_.mkAdd(t0, one);
+
+  Expr noneAtAll = ctx_.mkNot(p(zero));
+  Expr belowFirst = ctx_.mkAnd(p(zero), before(readAddr, g(zero)));
+  Expr lastGuarded =
+      ctx_.mkAnd(ctx_.mkUlt(t0, extent),
+                 ctx_.mkAnd(p(t0), ctx_.mkOr(ctx_.mkEq(t1, extent),
+                                             ctx_.mkNot(p(t1)))));
+  Expr aboveLast = ctx_.mkAnd(lastGuarded, before(g(t0), readAddr));
+  Expr inGap = ctx_.mkAnd(
+      ctx_.mkAnd(ctx_.mkUlt(t1, extent), ctx_.mkAnd(p(t0), p(t1))),
+      ctx_.mkAnd(before(g(t0), readAddr), before(readAddr, g(t1))));
+
+  return ctx_.mkOr(ctx_.mkOr(noneAtAll, belowFirst),
+                   ctx_.mkOr(aboveLast, inGap));
+}
+
+}  // namespace pugpara::para

@@ -1,0 +1,67 @@
+// Quantifier elimination for the no-writer ("frame") premises, Sec. IV-D.
+//
+// The quantified premise  (∀t: ¬(a = g(t) ∧ p(t)))  is replaced by a
+// quantifier-free certificate when the CA's address function g is provably
+// strictly monotone over the guarded thread range and the guard p carves a
+// contiguous prefix of the thread domain:
+//
+//   cert(a) :=  ¬p(0)                                        (no writer at all)
+//            ∨  a < g(0)                                     (below the range)
+//            ∨  p(t0) ∧ lastGuarded(t0) ∧ g(t0) < a          (above the range)
+//            ∨  p(t0) ∧ p(t0+1) ∧ t0+1 < D ∧ g(t0) < a < g(t0+1)  (in a gap)
+//
+// with ONE fresh witness variable t0 (the paper's construction). The three
+// side conditions — strict monotonicity, prefix-shaped guard, and their
+// decreasing-order duals — are discharged by SMT side queries.
+//
+// When elimination does not apply, the caller falls back to a native
+// quantified premise (Z3 only) or to bug-hunting mode.
+#pragma once
+
+#include <optional>
+
+#include "para/ca_extract.h"
+#include "smt/solver.h"
+
+namespace pugpara::para {
+
+class MonotoneAnalyzer {
+ public:
+  /// `assumptions` are in force for every side query (configuration
+  /// constraints, kernel assume()s). Side queries run on a private Z3
+  /// solver with `timeoutMs` per check.
+  MonotoneAnalyzer(expr::Context& ctx, expr::Expr assumptions,
+                   uint32_t timeoutMs = 2000);
+
+  /// Quantifier-free certificate that no thread writes `readAddr`, for a CA
+  /// with guard p(axis) and address g(axis). `axis` is the single thread-
+  /// coordinate variable the CA depends on and `extent` its domain bound
+  /// (coordinates range over [0, extent)). Returns nullopt when the side
+  /// conditions cannot be discharged. The certificate contains fresh witness
+  /// variables; asserting it in a disjunction keeps the query exact (see
+  /// resolve.cpp).
+  [[nodiscard]] std::optional<expr::Expr> certificate(expr::Expr guard,
+                                                      expr::Expr addr,
+                                                      expr::Expr axis,
+                                                      expr::Expr extent,
+                                                      expr::Expr readAddr);
+
+  /// Number of SMT side queries issued (for the encoding ablation bench).
+  [[nodiscard]] size_t sideQueries() const { return sideQueries_; }
+
+ private:
+  /// True when `formula` is unsatisfiable together with the assumptions.
+  [[nodiscard]] bool refuted(expr::Expr formula);
+
+  expr::Context& ctx_;
+  expr::Expr assumptions_;
+  std::unique_ptr<smt::Solver> solver_;
+  size_t sideQueries_ = 0;
+};
+
+/// Finds the unique thread-coordinate variable among `threadVars` that
+/// occurs in `guard` or `addr`; nullopt when zero or several occur.
+[[nodiscard]] std::optional<size_t> singleAxis(
+    expr::Expr guard, expr::Expr addr, const std::vector<expr::Expr>& threadVars);
+
+}  // namespace pugpara::para

@@ -1,0 +1,220 @@
+#include "para/resolve.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "expr/subst.h"
+#include "expr/walk.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::para {
+
+using expr::Expr;
+using lang::MemSpace;
+
+const char* toString(FrameMode mode) {
+  switch (mode) {
+    case FrameMode::MonotoneQe: return "monotone-qe";
+    case FrameMode::NativeForall: return "native-forall";
+    case FrameMode::BugHunt: return "bug-hunt";
+  }
+  return "?";
+}
+
+Resolver::Resolver(expr::Context& ctx, const KernelSummary& summary,
+                   FrameMode mode, MonotoneAnalyzer* mono)
+    : ctx_(ctx), sum_(summary), mode_(mode), mono_(mono) {}
+
+Expr Resolver::finalValue(const lang::VarDecl* array, Expr index) {
+  auto it = sum_.versions.find(array);
+  require(it != sum_.versions.end(),
+          "finalValue: array was never seen during extraction");
+  return resolveVar(it->second.back(), index, std::nullopt);
+}
+
+Expr Resolver::valueOf(Expr stateVar, Expr index) {
+  return resolveVar(stateVar, index, std::nullopt);
+}
+
+Expr Resolver::valueOfInBlock(Expr stateVar, Expr index, Expr bx, Expr by) {
+  return resolveVar(stateVar, index, ReaderBlock{bx, by});
+}
+
+Expr Resolver::resolveExpr(Expr e, Expr readerBx, Expr readerBy) {
+  return resolveSelects(e, ReaderBlock{readerBx, readerBy});
+}
+
+Expr Resolver::resolveVar(Expr stateVar, Expr index,
+                          const std::optional<ReaderBlock>& rb) {
+  auto prod = sum_.producers.find(stateVar.node());
+  if (prod == sum_.producers.end())
+    return ctx_.mkSelect(stateVar, index);  // base state: stop here
+
+  // Identical reads share one witness (race freedom: the writer is unique),
+  // which also keeps the premise set linear in the number of distinct reads.
+  const auto memoKey = std::make_tuple(
+      stateVar.node(), index.node(), rb ? rb->bx.node() : nullptr,
+      rb ? rb->by.node() : nullptr);
+  if (auto it = varMemo_.find(memoKey); it != varMemo_.end())
+    return it->second;
+
+  const VersionInfo& info = prod->second;
+  const bool isShared = info.array->space == MemSpace::Shared;
+
+  // Else branch first: the state before this interval.
+  Expr value = resolveVar(info.prev, index, rb);
+
+  std::vector<Expr> matches;
+  for (const ConditionalAssignment& ca : info.cas) {
+    // Fresh writer instance (Fig. 2: one per read per CA).
+    ThreadInstance inst = ThreadInstance::fresh(
+        ctx_, sum_.cfg, sum_.width,
+        "inst" + std::to_string(instanceCounter_++));
+    ++stats_.instances;
+
+    expr::SubstMap subst = inst.substFrom(sum_.canonical);
+    // Thread-local junk values are per-thread: re-freshen per instance.
+    for (Expr tl : sum_.threadLocalFresh)
+      subst.emplace(tl.node(),
+                    ctx_.freshVar(tl.varName() + "_i", tl.sort()));
+    Expr domain = inst.domain;
+    if (isShared && rb.has_value()) {
+      // Writers of a __shared__ array live in the reader's block.
+      subst[sum_.canonical.bx.node()] = rb->bx;
+      subst[sum_.canonical.by.node()] = rb->by;
+      domain = ctx_.mkAnd(
+          ctx_.mkAnd(ctx_.mkUlt(inst.tx, sum_.cfg.bdimX),
+                     ctx_.mkUlt(inst.ty, sum_.cfg.bdimY)),
+          ctx_.mkUlt(inst.tz, sum_.cfg.bdimZ));
+    }
+
+    Expr guard = expr::substitute(ca.guard, subst);
+    Expr addr = expr::substitute(ca.addr, subst);
+    Expr raw = expr::substitute(ca.value, subst);
+
+    // The writer's own reads recurse with the writer's block as reader.
+    ReaderBlock writerBlock{isShared && rb.has_value() ? rb->bx : inst.bx,
+                            isShared && rb.has_value() ? rb->by : inst.by};
+    Expr written = resolveSelects(raw, writerBlock);
+
+    Expr match = ctx_.mkAnd(domain, ctx_.mkAnd(guard, ctx_.mkEq(addr, index)));
+    matches.push_back(match);
+    value = ctx_.mkIte(match, written, value);
+  }
+
+  // Premise: some writer matched, or (exact modes) no thread writes here.
+  Expr someMatch = ctx_.mkOr(matches);
+  if (mode_ == FrameMode::BugHunt) {
+    premises_.push_back(someMatch);
+  } else {
+    Expr noWriter = ctx_.top();
+    for (const ConditionalAssignment& ca : info.cas) {
+      Expr guard = ca.guard;
+      Expr addr = ca.addr;
+      if (isShared && rb.has_value()) {
+        expr::SubstMap blockSubst;
+        blockSubst.emplace(sum_.canonical.bx.node(), rb->bx);
+        blockSubst.emplace(sum_.canonical.by.node(), rb->by);
+        guard = expr::substitute(guard, blockSubst);
+        addr = expr::substitute(addr, blockSubst);
+      }
+      noWriter = ctx_.mkAnd(noWriter, frameCertificate(ca, guard, addr, index));
+    }
+    premises_.push_back(ctx_.mkOr(someMatch, noWriter));
+  }
+  varMemo_.emplace(memoKey, value);
+  return value;
+}
+
+Expr Resolver::frameCertificate(const ConditionalAssignment& ca, Expr guard,
+                                Expr addr, Expr index) {
+  const std::vector<Expr> coords = sum_.canonical.vars();
+  const std::vector<Expr> extents = {sum_.cfg.bdimX, sum_.cfg.bdimY,
+                                     sum_.cfg.bdimZ, sum_.cfg.gdimX,
+                                     sum_.cfg.gdimY};
+
+  if (mode_ == FrameMode::MonotoneQe) {
+    // Which thread coordinates does the CA actually depend on?
+    std::set<size_t> used;
+    for (Expr part : {guard, addr})
+      for (Expr v : expr::freeVars(part))
+        for (size_t i = 0; i < coords.size(); ++i)
+          if (v == coords[i]) used.insert(i);
+    if (used.empty()) {
+      // Thread-independent write: the frame needs no quantifier at all.
+      ++stats_.uniformCerts;
+      return ctx_.mkNot(ctx_.mkAnd(guard, ctx_.mkEq(addr, index)));
+    }
+    if (used.size() == 1 && mono_ != nullptr) {
+      const size_t axis = *used.begin();
+      auto cert =
+          mono_->certificate(guard, addr, coords[axis], extents[axis], index);
+      if (cert.has_value()) {
+        ++stats_.qeCerts;
+        return *cert;
+      }
+    }
+  }
+
+  // Native quantified premise: ∀ writer coords (and its junk values):
+  // the writer does not hit `index`.
+  ++stats_.forallCerts;
+  ThreadInstance bound = ThreadInstance::fresh(
+      ctx_, sum_.cfg, sum_.width,
+      "fa" + std::to_string(instanceCounter_++));
+  expr::SubstMap subst = bound.substFrom(sum_.canonical);
+  std::vector<Expr> boundVars = bound.vars();
+  for (Expr tl : sum_.threadLocalFresh) {
+    Expr b = ctx_.freshVar(tl.varName() + "_fa", tl.sort());
+    subst.emplace(tl.node(), b);
+    boundVars.push_back(b);
+  }
+  Expr body = ctx_.mkNot(ctx_.mkAnd(
+      bound.domain, ctx_.mkAnd(expr::substitute(guard, subst),
+                               ctx_.mkEq(expr::substitute(addr, subst),
+                                         index))));
+  (void)ca;
+  return ctx_.mkForall(boundVars, body);
+}
+
+Expr Resolver::resolveSelects(Expr e, const std::optional<ReaderBlock>& rb) {
+  const auto key = std::make_tuple(
+      e.node(), rb ? rb->bx.node() : nullptr, rb ? rb->by.node() : nullptr);
+  if (auto it = selectMemo_.find(key); it != selectMemo_.end())
+    return it->second;
+  Expr result;
+  switch (e.kind()) {
+    case expr::Kind::Select: {
+      Expr arr = e.kid(0);
+      Expr idx = resolveSelects(e.kid(1), rb);
+      if (arr.isVar() && sum_.producers.contains(arr.node()))
+        result = resolveVar(arr, idx, rb);
+      else
+        result = ctx_.mkSelect(resolveSelects(arr, rb), idx);
+      break;
+    }
+    case expr::Kind::Var:
+    case expr::Kind::BoolConst:
+    case expr::Kind::BvConst:
+      result = e;
+      break;
+    default: {
+      std::vector<Expr> kids;
+      kids.reserve(e.arity());
+      bool changed = false;
+      for (size_t i = 0; i < e.arity(); ++i) {
+        Expr k = resolveSelects(e.kid(i), rb);
+        changed |= (k != e.kid(i));
+        kids.push_back(k);
+      }
+      result = changed ? expr::rebuildWithKids(e, kids) : e;
+      break;
+    }
+  }
+  selectMemo_.emplace(key, result);
+  return result;
+}
+
+}  // namespace pugpara::para

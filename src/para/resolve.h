@@ -1,0 +1,105 @@
+// Backward value resolution (paper Sec. IV-A/B/C): the value of an array
+// cell is tracked backwards through the barrier intervals. Each interval's
+// CAs fold into one nested-ite per read (Sec. IV-C), every CA match is
+// instantiated with a FRESH thread instance (Fig. 2), and the "no thread
+// wrote this cell" premise is handled per FrameMode:
+//
+//  * MonotoneQe   — quantifier-free certificates when the monotonicity
+//                   analysis applies (Sec. IV-D); per-CA fallback to a
+//                   native quantifier.
+//  * NativeForall — a genuine ∀ premise handed to Z3 (which the paper's
+//                   generation of solvers could not digest; ours mostly can).
+//  * BugHunt      — the premise "some writer matched" is *assumed*
+//                   (Sec. IV-D "Fast Bug Hunting"): any SAT answer under
+//                   these premises is a real counterexample candidate, but
+//                   cells nobody wrote are not explored (under-approximate).
+//
+// Exactness: in MonotoneQe / NativeForall mode the generated premises make
+// every solver model correspond to a real execution, so Unsat proves the
+// property for ANY number of threads and Sat yields a genuine witness.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "para/ca_extract.h"
+#include "para/monotone.h"
+
+namespace pugpara::para {
+
+enum class FrameMode { MonotoneQe, NativeForall, BugHunt };
+
+[[nodiscard]] const char* toString(FrameMode mode);
+
+struct ResolveStats {
+  size_t instances = 0;    // fresh thread instances created
+  size_t qeCerts = 0;      // frames discharged by monotone QE
+  size_t forallCerts = 0;  // frames requiring a native quantifier
+  size_t uniformCerts = 0; // thread-independent frames (trivially QF)
+};
+
+class Resolver {
+ public:
+  /// `mono` may be null (then MonotoneQe degrades to NativeForall frames).
+  Resolver(expr::Context& ctx, const KernelSummary& summary, FrameMode mode,
+           MonotoneAnalyzer* mono);
+
+  /// Value of `array`'s FINAL state at `index`.
+  [[nodiscard]] expr::Expr finalValue(const lang::VarDecl* array,
+                                      expr::Expr index);
+
+  /// Value of the state held in version variable `stateVar` at `index`
+  /// (used by the loop-aligned path to resolve within one interval range).
+  [[nodiscard]] expr::Expr valueOf(expr::Expr stateVar, expr::Expr index);
+
+  /// Same, but scoped to the block (bx, by): writers of __shared__ arrays
+  /// are constrained to that block. Required whenever the observed state is
+  /// per-block (shared-memory segment comparisons).
+  [[nodiscard]] expr::Expr valueOfInBlock(expr::Expr stateVar,
+                                          expr::Expr index, expr::Expr bx,
+                                          expr::Expr by);
+
+  /// Resolves every select-on-version-variable inside `e` (used for assert
+  /// conditions and postconditions, which may read arrays mid-kernel). The
+  /// reading thread's block coordinates scope __shared__ accesses.
+  [[nodiscard]] expr::Expr resolveExpr(expr::Expr e, expr::Expr readerBx,
+                                       expr::Expr readerBy);
+
+  /// Premises to assert alongside the goal (witness axioms or, in BugHunt
+  /// mode, the required matches).
+  [[nodiscard]] const std::vector<expr::Expr>& premises() const {
+    return premises_;
+  }
+  [[nodiscard]] const ResolveStats& stats() const { return stats_; }
+
+ private:
+  struct ReaderBlock {
+    expr::Expr bx, by;
+  };
+
+  [[nodiscard]] expr::Expr resolveVar(expr::Expr stateVar, expr::Expr index,
+                                      const std::optional<ReaderBlock>& rb);
+  [[nodiscard]] expr::Expr resolveSelects(expr::Expr e,
+                                          const std::optional<ReaderBlock>& rb);
+  [[nodiscard]] expr::Expr frameCertificate(const ConditionalAssignment& ca,
+                                            expr::Expr guard, expr::Expr addr,
+                                            expr::Expr index);
+
+  expr::Context& ctx_;
+  const KernelSummary& sum_;
+  FrameMode mode_;
+  MonotoneAnalyzer* mono_;
+  std::vector<expr::Expr> premises_;
+  ResolveStats stats_;
+  uint64_t instanceCounter_ = 0;
+
+  using MemoKey = std::tuple<const expr::Node*, const expr::Node*,
+                             const expr::Node*, const expr::Node*>;
+  std::map<MemoKey, expr::Expr> varMemo_;
+  using SelectKey =
+      std::tuple<const expr::Node*, const expr::Node*, const expr::Node*>;
+  std::map<SelectKey, expr::Expr> selectMemo_;
+};
+
+}  // namespace pugpara::para

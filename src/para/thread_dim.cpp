@@ -1,0 +1,112 @@
+#include "para/thread_dim.h"
+
+#include "expr/subst.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::para {
+
+using expr::Expr;
+using lang::BuiltinVar;
+
+SymbolicConfig SymbolicConfig::create(expr::Context& ctx,
+                                      const encode::EncodeOptions& options) {
+  const uint32_t w = options.width;
+  auto mk = [&](const char* key, const char* name) {
+    if (auto it = options.concretize.find(key); it != options.concretize.end())
+      return ctx.bvVal(it->second, w);
+    return ctx.var(name, expr::Sort::bv(w));
+  };
+  SymbolicConfig cfg;
+  cfg.bdimX = mk("bdim.x", "cfg_bdimX");
+  cfg.bdimY = mk("bdim.y", "cfg_bdimY");
+  cfg.bdimZ = mk("bdim.z", "cfg_bdimZ");
+  cfg.gdimX = mk("gdim.x", "cfg_gdimX");
+  cfg.gdimY = mk("gdim.y", "cfg_gdimY");
+  Expr one = ctx.bvVal(1, w);
+  cfg.constraints = ctx.mkAnd(
+      ctx.mkAnd(ctx.mkUle(one, cfg.bdimX), ctx.mkUle(one, cfg.bdimY)),
+      ctx.mkAnd(ctx.mkAnd(ctx.mkUle(one, cfg.bdimZ), ctx.mkUle(one, cfg.gdimX)),
+                ctx.mkUle(one, cfg.gdimY)));
+
+  // Valid-configuration axiom: the grid extents gdim.* x bdim.* are real
+  // CUDA launch dimensions and never wrap at the modeling width. Without
+  // this, an 8-bit encoding admits phantom configurations (e.g. 128 blocks
+  // of 4 threads "covering" a width-0 matrix) that no GPU can launch —
+  // the paper's "valid configurations" assumption. Checked exactly via
+  // double-width products.
+  if (2 * w <= 64) {
+    auto noOverflow = [&](Expr a, Expr b) {
+      Expr wideProd = ctx.mkMul(ctx.mkZeroExt(a, w), ctx.mkZeroExt(b, w));
+      return ctx.mkUlt(wideProd, ctx.bvVal(uint64_t{1} << w, 2 * w));
+    };
+    cfg.constraints = ctx.mkAnd(
+        cfg.constraints,
+        ctx.mkAnd(noOverflow(cfg.gdimX, cfg.bdimX),
+                  noOverflow(cfg.gdimY, cfg.bdimY)));
+  }
+  return cfg;
+}
+
+Expr SymbolicConfig::dim(BuiltinVar b) const {
+  switch (b) {
+    case BuiltinVar::BdimX: return bdimX;
+    case BuiltinVar::BdimY: return bdimY;
+    case BuiltinVar::BdimZ: return bdimZ;
+    case BuiltinVar::GdimX: return gdimX;
+    case BuiltinVar::GdimY: return gdimY;
+    default:
+      throw PugError("SymbolicConfig::dim: not a configuration builtin");
+  }
+}
+
+ThreadInstance ThreadInstance::fresh(expr::Context& ctx,
+                                     const SymbolicConfig& cfg, uint32_t width,
+                                     const std::string& hint) {
+  expr::Sort bv = expr::Sort::bv(width);
+  ThreadInstance t;
+  t.tx = ctx.freshVar(hint + "_tx", bv);
+  t.ty = ctx.freshVar(hint + "_ty", bv);
+  t.tz = ctx.freshVar(hint + "_tz", bv);
+  t.bx = ctx.freshVar(hint + "_bx", bv);
+  t.by = ctx.freshVar(hint + "_by", bv);
+  t.domain = ctx.mkAnd(
+      ctx.mkAnd(ctx.mkUlt(t.tx, cfg.bdimX), ctx.mkUlt(t.ty, cfg.bdimY)),
+      ctx.mkAnd(ctx.mkAnd(ctx.mkUlt(t.tz, cfg.bdimZ),
+                          ctx.mkUlt(t.bx, cfg.gdimX)),
+                ctx.mkUlt(t.by, cfg.gdimY)));
+  return t;
+}
+
+Expr ThreadInstance::coord(BuiltinVar b) const {
+  switch (b) {
+    case BuiltinVar::TidX: return tx;
+    case BuiltinVar::TidY: return ty;
+    case BuiltinVar::TidZ: return tz;
+    case BuiltinVar::BidX: return bx;
+    case BuiltinVar::BidY: return by;
+    default:
+      throw PugError("ThreadInstance::coord: not a thread builtin");
+  }
+}
+
+expr::SubstMap ThreadInstance::substFrom(const ThreadInstance& c) const {
+  expr::SubstMap m;
+  m.emplace(c.tx.node(), tx);
+  m.emplace(c.ty.node(), ty);
+  m.emplace(c.tz.node(), tz);
+  m.emplace(c.bx.node(), bx);
+  m.emplace(c.by.node(), by);
+  return m;
+}
+
+std::vector<Expr> ThreadInstance::vars() const { return {tx, ty, tz, bx, by}; }
+
+Expr ThreadInstance::distinctFrom(const ThreadInstance& o) const {
+  expr::Context& ctx = tx.ctx();
+  return ctx.mkOr(
+      ctx.mkOr(ctx.mkNe(tx, o.tx), ctx.mkNe(ty, o.ty)),
+      ctx.mkOr(ctx.mkNe(tz, o.tz),
+               ctx.mkOr(ctx.mkNe(bx, o.bx), ctx.mkNe(by, o.by))));
+}
+
+}  // namespace pugpara::para

@@ -1,0 +1,51 @@
+// Symbolic grid configuration and parametric thread variables for the
+// parameterized encoding (paper Sec. IV): one arbitrary thread `s` is
+// modelled by five coordinate variables with domain constraints
+// s.tid.* < bdim.* and s.bid.* < gdim.*, over a fully symbolic
+// configuration (bdim / gdim are themselves variables unless concretized).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/symbolic_env.h"
+#include "expr/context.h"
+#include "expr/subst.h"
+
+namespace pugpara::para {
+
+/// The (possibly symbolic) launch configuration shared by every thread
+/// instance and, in equivalence mode, by both kernels.
+struct SymbolicConfig {
+  expr::Expr bdimX, bdimY, bdimZ, gdimX, gdimY;
+  expr::Expr constraints;  // every dimension >= 1 (+ user concretizations)
+
+  /// Creates the canonical configuration variables (cfg_*) in `ctx`.
+  /// Dimensions named in `options.concretize` (keys "bdim.x", "gdim.y", ...)
+  /// become constants — the paper's "+C" knob applied to the configuration.
+  static SymbolicConfig create(expr::Context& ctx,
+                               const encode::EncodeOptions& options);
+
+  [[nodiscard]] expr::Expr dim(lang::BuiltinVar b) const;
+};
+
+/// One thread instance: five fresh coordinate variables plus the domain
+/// constraint tying them to the configuration.
+struct ThreadInstance {
+  expr::Expr tx, ty, tz, bx, by;
+  expr::Expr domain;  // tx < bdim.x && ... && by < gdim.y
+
+  /// Fresh instance named `hint!k`.
+  static ThreadInstance fresh(expr::Context& ctx, const SymbolicConfig& cfg,
+                              uint32_t width, const std::string& hint);
+
+  [[nodiscard]] expr::Expr coord(lang::BuiltinVar b) const;
+  /// Substitution map from another instance's variables to this one's.
+  [[nodiscard]] expr::SubstMap substFrom(const ThreadInstance& canonical) const;
+  /// The five coordinate variables.
+  [[nodiscard]] std::vector<expr::Expr> vars() const;
+  /// "this and that are different threads" (some coordinate differs).
+  [[nodiscard]] expr::Expr distinctFrom(const ThreadInstance& other) const;
+};
+
+}  // namespace pugpara::para

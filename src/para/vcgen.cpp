@@ -1,0 +1,312 @@
+#include "para/vcgen.h"
+
+#include <sstream>
+
+#include "expr/subst.h"
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::para {
+
+namespace {
+
+using expr::Expr;
+using lang::VarDecl;
+
+/// Correspondence between the two kernels' arrays: pointer parameters by
+/// position, __shared__ declarations by declaration order.
+std::unordered_map<const VarDecl*, const VarDecl*> arrayCorrespondence(
+    const KernelSummary& src, const KernelSummary& tgt) {
+  require(src.arrayParams.size() == tgt.arrayParams.size(),
+          "equivalence: kernels have different pointer-parameter counts");
+  std::unordered_map<const VarDecl*, const VarDecl*> map;  // tgt -> src
+  for (size_t i = 0; i < src.arrayParams.size(); ++i)
+    map.emplace(tgt.arrayParams[i], src.arrayParams[i]);
+  const auto& ss = src.kernel->sharedDecls;
+  const auto& ts = tgt.kernel->sharedDecls;
+  for (size_t i = 0; i < ts.size() && i < ss.size(); ++i)
+    map.emplace(ts[i], ss[i]);
+  return map;
+}
+
+void accumulate(ResolveStats& into, const ResolveStats& from) {
+  into.instances += from.instances;
+  into.qeCerts += from.qeCerts;
+  into.forallCerts += from.forallCerts;
+  into.uniformCerts += from.uniformCerts;
+}
+
+class EquivalenceBuilder {
+ public:
+  EquivalenceBuilder(expr::Context& ctx, const KernelSummary& src,
+                     const KernelSummary& tgt, FrameMode mode,
+                     uint32_t monoTimeoutMs)
+      : ctx_(ctx), src_(src), tgt_(tgt), mode_(mode),
+        base_(ctx.mkAnd(src.assumptions, tgt.assumptions)),
+        mono_(ctx, base_, monoTimeoutMs),
+        corr_(arrayCorrespondence(src, tgt)) {
+    for (size_t i = 0; i < src.inputArrays.size(); ++i)
+      require(src.inputArrays[i] == tgt.inputArrays[i],
+              "equivalence: kernels do not share input arrays");
+    out_.exact = mode != FrameMode::BugHunt;
+  }
+
+  ParamVcSet run() {
+    if (!src_.hasLoops() && !tgt_.hasLoops()) {
+      wholeKernelVc();
+      return std::move(out_);
+    }
+    segmentwiseVcs();
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] expr::Sort idxSort() const {
+    return expr::Sort::bv(src_.width);
+  }
+
+  /// Loop-free case: one VC comparing every output array cellwise.
+  void wholeKernelVc() {
+    Resolver rs(ctx_, src_, mode_, &mono_);
+    Resolver rt(ctx_, tgt_, mode_, &mono_);
+    Expr differ = ctx_.bot();
+    std::vector<Expr> witnesses;
+    for (size_t i = 0; i < src_.arrayParams.size(); ++i) {
+      Expr idx = ctx_.freshVar("eq_idx", idxSort());
+      witnesses.push_back(idx);
+      Expr vs = rs.finalValue(src_.arrayParams[i], idx);
+      Expr vt = rt.finalValue(tgt_.arrayParams[i], idx);
+      differ = ctx_.mkOr(differ, ctx_.mkNe(vs, vt));
+    }
+    Expr formula = base_;
+    for (Expr p : rs.premises()) formula = ctx_.mkAnd(formula, p);
+    for (Expr p : rt.premises()) formula = ctx_.mkAnd(formula, p);
+    accumulate(out_.stats, rs.stats());
+    accumulate(out_.stats, rt.stats());
+    out_.vcs.push_back({"whole-kernel output equality",
+                        ctx_.mkAnd(formula, differ), ctx_.mkNot(differ),
+                        std::move(witnesses)});
+  }
+
+  /// Kernels with barrier-carrying loops: align segments pairwise and
+  /// compare each as a state transformer over shared entry states.
+  void segmentwiseVcs() {
+    require(src_.segments.size() == tgt_.segments.size(),
+            "loop alignment: kernels have different segment counts");
+    for (size_t i = 0; i < src_.segments.size(); ++i) {
+      const Segment& ss = src_.segments[i];
+      const Segment& ts = tgt_.segments[i];
+      require(ss.loop.has_value() == ts.loop.has_value(),
+              "loop alignment: segment kinds differ at position " +
+                  std::to_string(i));
+      if (ss.loop.has_value()) {
+        loopSegmentVc(i, ss, ts);
+      } else {
+        plainSegmentVc(i, ss, ts);
+      }
+    }
+  }
+
+  /// Substitution identifying the target's segment-entry state (and
+  /// counter, if any) with the source's.
+  expr::SubstMap entrySubst(const Segment& ss, const Segment& ts) {
+    expr::SubstMap m;
+    for (const auto& [tArray, tVar] : ts.startState) {
+      const VarDecl* sArray = correspond(tArray);
+      if (sArray == nullptr) continue;
+      auto it = ss.startState.find(sArray);
+      if (it != ss.startState.end() && tVar != it->second)
+        m.emplace(tVar.node(), it->second);
+    }
+    return m;
+  }
+
+  [[nodiscard]] const VarDecl* correspond(const VarDecl* tgtArray) const {
+    auto it = corr_.find(tgtArray);
+    return it == corr_.end() ? nullptr : it->second;
+  }
+
+  void compareSegmentOutputs(size_t segIdx, const Segment& ss,
+                             const Segment& ts, Expr extraAssumption,
+                             expr::SubstMap tgtSubst,
+                             std::vector<Expr> extraWitnesses,
+                             const char* kindLabel) {
+    Resolver rs(ctx_, src_, mode_, &mono_);
+    Resolver rt(ctx_, tgt_, mode_, &mono_);
+
+    // Written arrays, matched across kernels (union of both sides).
+    std::vector<std::pair<const VarDecl*, const VarDecl*>> pairs;  // (s, t)
+    for (const VarDecl* sA : ss.writtenArrays) {
+      const VarDecl* tA = nullptr;
+      for (const auto& [t, s] : corr_)
+        if (s == sA) tA = t;
+      require(tA != nullptr || sA->space != lang::MemSpace::Global,
+              "loop alignment: source writes an array with no counterpart");
+      if (tA != nullptr) pairs.emplace_back(sA, tA);
+    }
+    for (const VarDecl* tA : ts.writtenArrays) {
+      const VarDecl* sA = correspond(tA);
+      bool seen = false;
+      for (const auto& pr : pairs) seen |= (pr.second == tA);
+      if (!seen && sA != nullptr) pairs.emplace_back(sA, tA);
+    }
+
+    // Shared-memory state is per-block: compare both kernels' view of ONE
+    // arbitrary observer block.
+    Expr obx = ctx_.freshVar("obs_bx", idxSort());
+    Expr oby = ctx_.freshVar("obs_by", idxSort());
+    Expr obsDomain = ctx_.mkAnd(ctx_.mkUlt(obx, src_.cfg.gdimX),
+                                ctx_.mkUlt(oby, src_.cfg.gdimY));
+
+    Expr differ = ctx_.bot();
+    std::vector<Expr> witnesses = std::move(extraWitnesses);
+    bool usedObserver = false;
+    for (const auto& [sA, tA] : pairs) {
+      Expr idx = ctx_.freshVar("seg_idx", idxSort());
+      witnesses.push_back(idx);
+      const bool shared = sA->space == lang::MemSpace::Shared;
+      usedObserver |= shared;
+      Expr vs = shared ? rs.valueOfInBlock(ss.endState.at(sA), idx, obx, oby)
+                       : rs.valueOf(ss.endState.at(sA), idx);
+      Expr vt = shared ? rt.valueOfInBlock(ts.endState.at(tA), idx, obx, oby)
+                       : rt.valueOf(ts.endState.at(tA), idx);
+      vt = expr::substitute(vt, tgtSubst);
+      differ = ctx_.mkOr(differ, ctx_.mkNe(vs, vt));
+    }
+    if (usedObserver) {
+      witnesses.push_back(obx);
+      witnesses.push_back(oby);
+    }
+
+    Expr formula = ctx_.mkAnd(base_, extraAssumption);
+    if (usedObserver) formula = ctx_.mkAnd(formula, obsDomain);
+    for (Expr p : rs.premises()) formula = ctx_.mkAnd(formula, p);
+    for (Expr p : rt.premises())
+      formula = ctx_.mkAnd(formula, expr::substitute(p, tgtSubst));
+    accumulate(out_.stats, rs.stats());
+    accumulate(out_.stats, rt.stats());
+
+    std::ostringstream name;
+    name << "segment " << segIdx << " (" << kindLabel << ") state equality";
+    out_.vcs.push_back({name.str(), ctx_.mkAnd(formula, differ),
+                        ctx_.mkNot(differ), std::move(witnesses)});
+  }
+
+  void plainSegmentVc(size_t segIdx, const Segment& ss, const Segment& ts) {
+    compareSegmentOutputs(segIdx, ss, ts, ctx_.top(), entrySubst(ss, ts), {},
+                          "plain");
+  }
+
+  void loopSegmentVc(size_t segIdx, const Segment& ss, const Segment& ts) {
+    const LoopSegment& ls = *ss.loop;
+    const LoopSegment& lt = *ts.loop;
+    HeaderAlignment ha = alignHeaders(ctx_, ls, lt);
+    require(ha != HeaderAlignment::Failed,
+            "loop alignment: headers differ and the bodies are not "
+            "commutative accumulations (segment " + std::to_string(segIdx) +
+                ")");
+    if (ha == HeaderAlignment::Commutative) {
+      out_.caveats.push_back(
+          "segment " + std::to_string(segIdx) +
+          ": loop headers differ; equivalence holds modulo the "
+          "commutative-associative reordering argument (iteration-set "
+          "equality is assumed, as in the paper's Sec. IV-E)");
+      out_.exact = false;
+    }
+    // Per-iteration body equivalence with a shared symbolic counter: rebase
+    // the target's counter and entry state onto the source's, and assume the
+    // iteration is active (source loop guard).
+    expr::SubstMap subst = entrySubst(ss, ts);
+    subst.emplace(lt.k.node(), ls.k);
+    Expr active = ctx_.mkAnd(
+        ls.guard, loopReachabilityInvariant(ctx_, ls, src_.width));
+    compareSegmentOutputs(segIdx, ss, ts, active, std::move(subst), {ls.k},
+                          "loop body");
+  }
+
+  expr::Context& ctx_;
+  const KernelSummary& src_;
+  const KernelSummary& tgt_;
+  FrameMode mode_;
+  Expr base_;
+  MonotoneAnalyzer mono_;
+  std::unordered_map<const VarDecl*, const VarDecl*> corr_;  // tgt -> src
+  ParamVcSet out_;
+};
+
+}  // namespace
+
+ParamVcSet buildEquivalenceVcs(expr::Context& ctx, const KernelSummary& src,
+                               const KernelSummary& tgt, FrameMode mode,
+                               uint32_t monoTimeoutMs) {
+  return EquivalenceBuilder(ctx, src, tgt, mode, monoTimeoutMs).run();
+}
+
+ParamVcSet buildPostcondVcs(expr::Context& ctx, const KernelSummary& summary,
+                            const encode::EncodeOptions& options,
+                            FrameMode mode, uint32_t monoTimeoutMs) {
+  require(!summary.hasLoops(),
+          "parameterized postcondition checking requires a loop-free "
+          "barrier structure (concretize the configuration instead)");
+  ParamVcSet out;
+  out.exact = mode != FrameMode::BugHunt;
+  MonotoneAnalyzer mono(ctx, summary.assumptions, monoTimeoutMs);
+  Resolver resolver(ctx, summary, mode, &mono);
+
+  for (const lang::Stmt* pc : summary.postconds) {
+    // Translate the postcondition: spec variables are fresh (hence
+    // universal under the unsat check), arrays resolve to final state.
+    std::unordered_map<const VarDecl*, Expr> specEnv;
+    std::vector<Expr> specVars;
+    std::unordered_map<const VarDecl*, Expr> paramEnv;
+    for (size_t i = 0; i < summary.scalarParams.size(); ++i)
+      paramEnv[summary.scalarParams[i]] = summary.scalarInputs[i];
+
+    encode::EnvCallbacks cbs;
+    cbs.builtin = [&](lang::BuiltinVar b) { return summary.cfg.dim(b); };
+    cbs.readVar = [&](const VarDecl* d) {
+      if (auto it = paramEnv.find(d); it != paramEnv.end()) return it->second;
+      if (auto it = specEnv.find(d); it != specEnv.end()) return it->second;
+      Expr v = ctx.freshVar("spec_" + d->name, expr::Sort::bv(summary.width));
+      specEnv[d] = v;
+      specVars.push_back(v);
+      return v;
+    };
+    cbs.readArray = [&](const VarDecl* d, Expr idx) {
+      return resolver.finalValue(d, idx);
+    };
+    encode::Translator tr(ctx, options, std::move(cbs));
+    Expr post = tr.toBool(*pc->cond);
+
+    Expr formula = summary.assumptions;
+    for (Expr p : resolver.premises()) formula = ctx.mkAnd(formula, p);
+    out.vcs.push_back({"postcondition at " + pc->loc.str(),
+                       ctx.mkAnd(formula, ctx.mkNot(post)), post,
+                       std::move(specVars)});
+  }
+  out.stats = resolver.stats();
+  return out;
+}
+
+ParamVcSet buildAssertVcs(expr::Context& ctx, const KernelSummary& summary,
+                          FrameMode mode, uint32_t monoTimeoutMs) {
+  ParamVcSet out;
+  out.exact = mode != FrameMode::BugHunt;
+  MonotoneAnalyzer mono(ctx, summary.assumptions, monoTimeoutMs);
+  Resolver resolver(ctx, summary, mode, &mono);
+  for (const auto& ob : summary.asserts) {
+    Expr guard = resolver.resolveExpr(ob.guard, summary.canonical.bx,
+                                      summary.canonical.by);
+    Expr cond = resolver.resolveExpr(ob.cond, summary.canonical.bx,
+                                     summary.canonical.by);
+    Expr formula = summary.assumptions;
+    for (Expr p : resolver.premises()) formula = ctx.mkAnd(formula, p);
+    formula = ctx.mkAnd(formula, ctx.mkAnd(guard, ctx.mkNot(cond)));
+    out.vcs.push_back({"assert at " + ob.loc.str(), formula, cond,
+                       summary.canonical.vars()});
+  }
+  out.stats = resolver.stats();
+  return out;
+}
+
+}  // namespace pugpara::para

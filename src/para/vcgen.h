@@ -1,0 +1,56 @@
+// Verification-condition generation for the parameterized checker: the
+// public face of the `para` module. Produces solver-ready formulas whose
+// SAT answer is a candidate bug (with witness variables for replay) and
+// whose UNSAT answer — in an exact FrameMode — proves the property for an
+// arbitrary number of threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "para/loops.h"
+#include "para/resolve.h"
+
+namespace pugpara::para {
+
+struct ParamVc {
+  std::string name;      // human-readable: what this VC establishes
+  expr::Expr formula;    // assumptions ∧ premises ∧ ¬goal
+  expr::Expr goal;       // the property (for reporting)
+  /// Free variables a model assigns that identify the disagreement
+  /// (output index variables, iteration counter, ...).
+  std::vector<expr::Expr> witnesses;
+};
+
+struct ParamVcSet {
+  std::vector<ParamVc> vcs;
+  bool exact = true;  // false: BugHunt premises or commutative alignment
+  std::vector<std::string> caveats;
+  ResolveStats stats;
+};
+
+/// Equivalence VCs for two kernels extracted in the same Context (shared
+/// inputs / configuration). Loop-free kernels yield one whole-kernel VC per
+/// output array; kernels with barrier-carrying loops go through segmentwise
+/// loop alignment (Sec. IV-E). Throws PugError when the kernels cannot be
+/// aligned.
+[[nodiscard]] ParamVcSet buildEquivalenceVcs(expr::Context& ctx,
+                                             const KernelSummary& src,
+                                             const KernelSummary& tgt,
+                                             FrameMode mode,
+                                             uint32_t monoTimeoutMs = 2000);
+
+/// Postcondition VCs (loop-free kernels only).
+[[nodiscard]] ParamVcSet buildPostcondVcs(expr::Context& ctx,
+                                          const KernelSummary& summary,
+                                          const encode::EncodeOptions& options,
+                                          FrameMode mode,
+                                          uint32_t monoTimeoutMs = 2000);
+
+/// Assertion VCs: one per assert(), over the canonical parametric thread.
+[[nodiscard]] ParamVcSet buildAssertVcs(expr::Context& ctx,
+                                        const KernelSummary& summary,
+                                        FrameMode mode,
+                                        uint32_t monoTimeoutMs = 2000);
+
+}  // namespace pugpara::para

@@ -1,0 +1,139 @@
+#include "smt/mini/array_lower.h"
+
+#include <unordered_map>
+
+#include "expr/subst.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::smt::mini {
+
+using expr::Expr;
+using expr::Kind;
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(expr::Context& ctx) : ctx_(ctx) {}
+
+  Expr lower(Expr e) {
+    auto it = memo_.find(e.node());
+    if (it != memo_.end()) return it->second;
+    Expr r = compute(e);
+    memo_.emplace(e.node(), r);
+    return r;
+  }
+
+  ArrayLowering finish(std::vector<Expr> formulas) {
+    ArrayLowering out;
+    out.formulas = std::move(formulas);
+    out.reads = reads_;
+    // Functional consistency per base array: equal indices read equal
+    // values (Ackermann's reduction; quadratic in the read count).
+    std::unordered_map<const expr::Node*, std::vector<size_t>> byArray;
+    for (size_t i = 0; i < reads_.size(); ++i)
+      byArray[reads_[i].array.node()].push_back(i);
+    for (const auto& [arr, idxs] : byArray) {
+      (void)arr;
+      for (size_t i = 0; i < idxs.size(); ++i)
+        for (size_t j = i + 1; j < idxs.size(); ++j) {
+          const AckermannRead& a = reads_[idxs[i]];
+          const AckermannRead& b = reads_[idxs[j]];
+          out.constraints.push_back(
+              ctx_.mkImplies(ctx_.mkEq(a.index, b.index),
+                             ctx_.mkEq(a.value, b.value)));
+        }
+    }
+    return out;
+  }
+
+ private:
+  Expr compute(Expr e) {
+    switch (e.kind()) {
+      case Kind::Var:
+      case Kind::BoolConst:
+      case Kind::BvConst:
+        return e;
+      case Kind::Select:
+        return lowerSelect(e.kid(0), lower(e.kid(1)));
+      case Kind::Store:
+        throw PugError("MiniSMT: store outside a select (array equality?) "
+                       "is not supported");
+      case Kind::Eq:
+        if (e.kid(0).sort().isArray())
+          throw PugError("MiniSMT: array equality is not supported");
+        [[fallthrough]];
+      default: {
+        std::vector<Expr> kids;
+        kids.reserve(e.arity());
+        bool changed = false;
+        for (size_t i = 0; i < e.arity(); ++i) {
+          Expr k = lower(e.kid(i));
+          changed |= (k != e.kid(i));
+          kids.push_back(k);
+        }
+        return changed ? expr::rebuildWithKids(e, kids) : e;
+      }
+    }
+  }
+
+  /// Resolves select(arrayTerm, index) where index is already lowered.
+  Expr lowerSelect(Expr arrayTerm, Expr index) {
+    switch (arrayTerm.kind()) {
+      case Kind::Store: {
+        Expr i = lower(arrayTerm.kid(1));
+        Expr v = lower(arrayTerm.kid(2));
+        Expr rest = lowerSelect(arrayTerm.kid(0), index);
+        return ctx_.mkIte(ctx_.mkEq(i, index), v, rest);
+      }
+      case Kind::Ite: {
+        Expr c = lower(arrayTerm.kid(0));
+        Expr t = lowerSelect(arrayTerm.kid(1), index);
+        Expr f = lowerSelect(arrayTerm.kid(2), index);
+        return ctx_.mkIte(c, t, f);
+      }
+      case Kind::Var: {
+        // Reuse the scalar when the same (array, index) was read before.
+        const auto key = std::make_pair(arrayTerm.node(), index.node());
+        auto it = readMemo_.find(key);
+        if (it != readMemo_.end()) return it->second;
+        Expr fresh = ctx_.freshVar(
+            "ack_" + arrayTerm.varName(),
+            expr::Sort::bv(arrayTerm.sort().elemWidth()));
+        reads_.push_back({arrayTerm, index, fresh});
+        readMemo_.emplace(key, fresh);
+        return fresh;
+      }
+      default:
+        throw PugError("MiniSMT: unsupported array term shape");
+    }
+  }
+
+  struct PairHash {
+    size_t operator()(
+        const std::pair<const expr::Node*, const expr::Node*>& p) const {
+      return std::hash<const expr::Node*>()(p.first) * 31 ^
+             std::hash<const expr::Node*>()(p.second);
+    }
+  };
+
+  expr::Context& ctx_;
+  std::unordered_map<const expr::Node*, Expr> memo_;
+  std::unordered_map<std::pair<const expr::Node*, const expr::Node*>, Expr,
+                     PairHash>
+      readMemo_;
+  std::vector<AckermannRead> reads_;
+};
+
+}  // namespace
+
+ArrayLowering lowerArrays(expr::Context& ctx,
+                          std::span<const expr::Expr> assertions) {
+  Lowerer lw(ctx);
+  std::vector<Expr> lowered;
+  lowered.reserve(assertions.size());
+  for (Expr a : assertions) lowered.push_back(lw.lower(a));
+  return lw.finish(std::move(lowered));
+}
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,30 @@
+// Array elimination for MiniSMT: read-over-write pushing followed by
+// Ackermann reduction. After lowering, the formula mentions no Select /
+// Store nodes; each surviving read of a base array variable becomes a fresh
+// scalar with pairwise functional-consistency constraints.
+#pragma once
+
+#include <vector>
+
+#include "expr/context.h"
+
+namespace pugpara::smt::mini {
+
+struct AckermannRead {
+  expr::Expr array;  // base array variable
+  expr::Expr index;  // lowered (array-free) index expression
+  expr::Expr value;  // the fresh scalar standing for array[index]
+};
+
+struct ArrayLowering {
+  std::vector<expr::Expr> formulas;     // lowered assertions
+  std::vector<expr::Expr> constraints;  // functional-consistency axioms
+  std::vector<AckermannRead> reads;     // for model reconstruction
+};
+
+/// Lowers `assertions`. Throws PugError on array equalities or other shapes
+/// outside the select/store fragment (the caller reports Unknown).
+[[nodiscard]] ArrayLowering lowerArrays(expr::Context& ctx,
+                                        std::span<const expr::Expr> assertions);
+
+}  // namespace pugpara::smt::mini

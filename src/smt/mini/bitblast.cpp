@@ -1,0 +1,332 @@
+#include "smt/mini/bitblast.h"
+
+#include "support/diagnostics.h"
+
+namespace pugpara::smt::mini {
+
+using expr::Expr;
+using expr::Kind;
+
+Lit BitBlaster::constLit(bool b) {
+  if (!haveTrue_) {
+    true_ = fresh();
+    sat_.addClause({true_});
+    haveTrue_ = true;
+  }
+  return b ? true_ : ~true_;
+}
+
+// ---- Gates -------------------------------------------------------------------
+
+Lit BitBlaster::gAnd(Lit a, Lit b) {
+  if (haveTrue_) {
+    if (a == constLit(false) || b == constLit(false)) return constLit(false);
+    if (a == constLit(true)) return b;
+    if (b == constLit(true)) return a;
+  }
+  if (a == b) return a;
+  if (a == ~b) return constLit(false);
+  Lit o = fresh();
+  sat_.addClause({~o, a});
+  sat_.addClause({~o, b});
+  sat_.addClause({o, ~a, ~b});
+  return o;
+}
+
+Lit BitBlaster::gOr(Lit a, Lit b) { return ~gAnd(~a, ~b); }
+
+Lit BitBlaster::gXor(Lit a, Lit b) {
+  if (haveTrue_) {
+    if (a == constLit(false)) return b;
+    if (b == constLit(false)) return a;
+    if (a == constLit(true)) return ~b;
+    if (b == constLit(true)) return ~a;
+  }
+  if (a == b) return constLit(false);
+  if (a == ~b) return constLit(true);
+  Lit o = fresh();
+  sat_.addClause({~o, a, b});
+  sat_.addClause({~o, ~a, ~b});
+  sat_.addClause({o, ~a, b});
+  sat_.addClause({o, a, ~b});
+  return o;
+}
+
+Lit BitBlaster::gIte(Lit c, Lit t, Lit e) {
+  if (t == e) return t;
+  if (haveTrue_) {
+    if (c == constLit(true)) return t;
+    if (c == constLit(false)) return e;
+  }
+  Lit o = fresh();
+  sat_.addClause({~o, ~c, t});
+  sat_.addClause({~o, c, e});
+  sat_.addClause({o, ~c, ~t});
+  sat_.addClause({o, c, ~e});
+  return o;
+}
+
+Lit BitBlaster::gAndMany(const std::vector<Lit>& ls) {
+  Lit acc = constLit(true);
+  for (Lit l : ls) acc = gAnd(acc, l);
+  return acc;
+}
+
+// ---- Vector circuits -----------------------------------------------------------
+
+std::vector<Lit> BitBlaster::vAdd(const std::vector<Lit>& a,
+                                  const std::vector<Lit>& b, Lit carryIn) {
+  std::vector<Lit> out(a.size());
+  Lit carry = carryIn;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit axb = gXor(a[i], b[i]);
+    out[i] = gXor(axb, carry);
+    carry = gOr(gAnd(a[i], b[i]), gAnd(axb, carry));
+  }
+  return out;
+}
+
+std::vector<Lit> BitBlaster::vNeg(const std::vector<Lit>& a) {
+  std::vector<Lit> inv(a.size());
+  for (size_t i = 0; i < a.size(); ++i) inv[i] = ~a[i];
+  std::vector<Lit> one(a.size(), constLit(false));
+  one[0] = constLit(true);
+  return vAdd(inv, one, constLit(false));
+}
+
+std::vector<Lit> BitBlaster::vMul(const std::vector<Lit>& a,
+                                  const std::vector<Lit>& b) {
+  // Shift-and-add multiplier.
+  std::vector<Lit> acc(a.size(), constLit(false));
+  for (size_t i = 0; i < b.size(); ++i) {
+    std::vector<Lit> partial(a.size(), constLit(false));
+    for (size_t j = 0; i + j < a.size(); ++j)
+      partial[i + j] = gAnd(a[j], b[i]);
+    acc = vAdd(acc, partial, constLit(false));
+  }
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::vIte(Lit c, const std::vector<Lit>& t,
+                                  const std::vector<Lit>& e) {
+  std::vector<Lit> out(t.size());
+  for (size_t i = 0; i < t.size(); ++i) out[i] = gIte(c, t[i], e[i]);
+  return out;
+}
+
+std::vector<Lit> BitBlaster::vShift(const std::vector<Lit>& a,
+                                    const std::vector<Lit>& by, bool left) {
+  // Barrel shifter: stages cover every in-range distance (< w); the exact
+  // numeric test `by >= w` zeroes the out-of-range amounts (SMT-LIB shift
+  // semantics).
+  const size_t w = a.size();
+  std::vector<Lit> cur = a;
+  for (size_t s = 0; s < by.size() && (size_t{1} << s) < w; ++s) {
+    const size_t dist = size_t{1} << s;
+    std::vector<Lit> shifted(w, constLit(false));
+    for (size_t i = 0; i < w; ++i) {
+      if (left) {
+        if (i >= dist) shifted[i] = cur[i - dist];
+      } else {
+        if (i + dist < w) shifted[i] = cur[i + dist];
+      }
+    }
+    cur = vIte(by[s], shifted, cur);
+  }
+  std::vector<Lit> wval(by.size(), constLit(false));
+  for (size_t i = 0; i < by.size() && i < 63; ++i)
+    if ((w >> i) & 1) wval[i] = constLit(true);
+  Lit tooBig = ~vUlt(by, wval, false);  // by >= w
+  std::vector<Lit> zero(w, constLit(false));
+  return vIte(tooBig, zero, cur);
+}
+
+Lit BitBlaster::vUlt(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                     bool orEqual) {
+  // MSB-first lexicographic comparison.
+  Lit result = orEqual ? constLit(true) : constLit(false);
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit ai = a[i], bi = b[i];
+    // result' = (!ai && bi) || (ai == bi && result)
+    result = gOr(gAnd(~ai, bi), gAnd(gIff(ai, bi), result));
+  }
+  return result;
+}
+
+Lit BitBlaster::vEq(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  Lit acc = constLit(true);
+  for (size_t i = 0; i < a.size(); ++i) acc = gAnd(acc, gIff(a[i], b[i]));
+  return acc;
+}
+
+// ---- Expression dispatch ----------------------------------------------------------
+
+std::vector<Lit> BitBlaster::blastBv(Expr e) {
+  auto it = bvMemo_.find(e.node());
+  if (it != bvMemo_.end()) return it->second;
+  require(e.sort().isBv(), "bitblast: expected a bit-vector term");
+  const uint32_t w = e.sort().width();
+  std::vector<Lit> out;
+
+  switch (e.kind()) {
+    case Kind::BvConst: {
+      out.resize(w);
+      for (uint32_t i = 0; i < w; ++i)
+        out[i] = constLit((e.bvValue() >> i) & 1);
+      break;
+    }
+    case Kind::Var: {
+      out.resize(w);
+      for (uint32_t i = 0; i < w; ++i) out[i] = fresh();
+      break;
+    }
+    case Kind::Ite:
+      out = vIte(blastBool(e.kid(0)), blastBv(e.kid(1)), blastBv(e.kid(2)));
+      break;
+    case Kind::BvNot: {
+      out = blastBv(e.kid(0));
+      for (Lit& l : out) l = ~l;
+      break;
+    }
+    case Kind::BvNeg:
+      out = vNeg(blastBv(e.kid(0)));
+      break;
+    case Kind::BvAdd:
+      out = vAdd(blastBv(e.kid(0)), blastBv(e.kid(1)), constLit(false));
+      break;
+    case Kind::BvSub: {
+      std::vector<Lit> binv = blastBv(e.kid(1));
+      for (Lit& l : binv) l = ~l;
+      out = vAdd(blastBv(e.kid(0)), binv, constLit(true));
+      break;
+    }
+    case Kind::BvMul:
+      out = vMul(blastBv(e.kid(0)), blastBv(e.kid(1)));
+      break;
+    case Kind::BvAnd:
+    case Kind::BvOr:
+    case Kind::BvXor: {
+      std::vector<Lit> a = blastBv(e.kid(0));
+      std::vector<Lit> b = blastBv(e.kid(1));
+      out.resize(w);
+      for (uint32_t i = 0; i < w; ++i)
+        out[i] = e.kind() == Kind::BvAnd  ? gAnd(a[i], b[i])
+                 : e.kind() == Kind::BvOr ? gOr(a[i], b[i])
+                                          : gXor(a[i], b[i]);
+      break;
+    }
+    case Kind::BvShl:
+      out = vShift(blastBv(e.kid(0)), blastBv(e.kid(1)), /*left=*/true);
+      break;
+    case Kind::BvLShr:
+      out = vShift(blastBv(e.kid(0)), blastBv(e.kid(1)), /*left=*/false);
+      break;
+    case Kind::BvConcat: {
+      std::vector<Lit> lo = blastBv(e.kid(1));
+      std::vector<Lit> hi = blastBv(e.kid(0));
+      out = lo;
+      out.insert(out.end(), hi.begin(), hi.end());
+      break;
+    }
+    case Kind::BvExtract: {
+      std::vector<Lit> x = blastBv(e.kid(0));
+      out.assign(x.begin() + e.extractLo(), x.begin() + e.extractHi() + 1);
+      break;
+    }
+    case Kind::BvZeroExt: {
+      out = blastBv(e.kid(0));
+      out.resize(w, constLit(false));
+      break;
+    }
+    case Kind::BvSignExt: {
+      out = blastBv(e.kid(0));
+      Lit sign = out.back();
+      out.resize(w, sign);
+      break;
+    }
+    default:
+      throw PugError(std::string("bitblast: unsupported bit-vector operator "
+                                 "'") +
+                     expr::kindName(e.kind()) +
+                     "' (should have been lowered)");
+  }
+  require(out.size() == w, "bitblast: width mismatch");
+  return bvMemo_.emplace(e.node(), std::move(out)).first->second;
+}
+
+Lit BitBlaster::blastBool(Expr e) {
+  auto it = boolMemo_.find(e.node());
+  if (it != boolMemo_.end()) return it->second;
+  require(e.sort().isBool(), "bitblast: expected a Bool term");
+  Lit out;
+  switch (e.kind()) {
+    case Kind::BoolConst:
+      out = constLit(e.isTrue());
+      break;
+    case Kind::Var:
+      out = fresh();
+      break;
+    case Kind::Not:
+      out = ~blastBool(e.kid(0));
+      break;
+    case Kind::And:
+      out = gAnd(blastBool(e.kid(0)), blastBool(e.kid(1)));
+      break;
+    case Kind::Or:
+      out = gOr(blastBool(e.kid(0)), blastBool(e.kid(1)));
+      break;
+    case Kind::Xor:
+      out = gXor(blastBool(e.kid(0)), blastBool(e.kid(1)));
+      break;
+    case Kind::Implies:
+      out = gOr(~blastBool(e.kid(0)), blastBool(e.kid(1)));
+      break;
+    case Kind::Ite:
+      out = gIte(blastBool(e.kid(0)), blastBool(e.kid(1)),
+                 blastBool(e.kid(2)));
+      break;
+    case Kind::Eq:
+      if (e.kid(0).sort().isBool())
+        out = gIff(blastBool(e.kid(0)), blastBool(e.kid(1)));
+      else
+        out = vEq(blastBv(e.kid(0)), blastBv(e.kid(1)));
+      break;
+    case Kind::BvUlt:
+      out = vUlt(blastBv(e.kid(0)), blastBv(e.kid(1)), false);
+      break;
+    case Kind::BvUle:
+      out = vUlt(blastBv(e.kid(0)), blastBv(e.kid(1)), true);
+      break;
+    default:
+      throw PugError(std::string("bitblast: unsupported Bool operator '") +
+                     expr::kindName(e.kind()) +
+                     "' (should have been lowered)");
+  }
+  return boolMemo_.emplace(e.node(), out).first->second;
+}
+
+void BitBlaster::assertTrue(Expr e) { sat_.addClause({blastBool(e)}); }
+
+Lit BitBlaster::boolLit(Expr e) { return blastBool(e); }
+
+const std::vector<Lit>& BitBlaster::bits(Expr e) {
+  (void)blastBv(e);
+  return bvMemo_.at(e.node());
+}
+
+uint64_t BitBlaster::modelBv(Expr e) {
+  const std::vector<Lit>& bs = bits(e);
+  uint64_t v = 0;
+  for (size_t i = 0; i < bs.size(); ++i) {
+    const bool bit = sat_.modelValue(bs[i].var()) != bs[i].negated();
+    if (bit) v |= uint64_t{1} << i;
+  }
+  return v;
+}
+
+bool BitBlaster::modelBool(Expr e) {
+  Lit l = blastBool(e);
+  return sat_.modelValue(l.var()) != l.negated();
+}
+
+}  // namespace pugpara::smt::mini

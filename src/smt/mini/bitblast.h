@@ -1,0 +1,66 @@
+// Tseitin bit-blasting of quantifier-free, array-free, unsigned-only
+// bit-vector formulas into CNF. Signed operations, division and arrays are
+// eliminated beforehand (see preprocess.h / array_lower.h).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+#include "smt/mini/sat_solver.h"
+
+namespace pugpara::smt::mini {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(SatSolver& sat) : sat_(sat) {}
+
+  /// Asserts a Bool-sorted expression at the top level.
+  void assertTrue(expr::Expr e);
+
+  /// The literal of a Bool expression / the bit vector (LSB first) of a
+  /// bit-vector expression — used for model extraction.
+  [[nodiscard]] Lit boolLit(expr::Expr e);
+  [[nodiscard]] const std::vector<Lit>& bits(expr::Expr e);
+
+  /// Value of a blasted expression under the SAT model.
+  [[nodiscard]] uint64_t modelBv(expr::Expr e);
+  [[nodiscard]] bool modelBool(expr::Expr e);
+
+ private:
+  Lit fresh() { return Lit(sat_.newVar(), false); }
+  Lit constLit(bool b);
+
+  // Gate constructors (with constant folding and structural sharing at the
+  // Expr layer already done, these stay simple Tseitin encodings).
+  Lit gAnd(Lit a, Lit b);
+  Lit gOr(Lit a, Lit b);
+  Lit gXor(Lit a, Lit b);
+  Lit gIff(Lit a, Lit b) { return ~gXor(a, b); }
+  Lit gIte(Lit c, Lit t, Lit e);
+  Lit gAndMany(const std::vector<Lit>& ls);
+
+  // Vector circuits.
+  std::vector<Lit> vAdd(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                        Lit carryIn);
+  std::vector<Lit> vNeg(const std::vector<Lit>& a);
+  std::vector<Lit> vMul(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  std::vector<Lit> vIte(Lit c, const std::vector<Lit>& t,
+                        const std::vector<Lit>& e);
+  std::vector<Lit> vShift(const std::vector<Lit>& a,
+                          const std::vector<Lit>& by, bool left);
+  Lit vUlt(const std::vector<Lit>& a, const std::vector<Lit>& b,
+           bool orEqual);
+  Lit vEq(const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+  std::vector<Lit> blastBv(expr::Expr e);
+  Lit blastBool(expr::Expr e);
+
+  SatSolver& sat_;
+  Lit true_;  // lazily created constant-true literal
+  bool haveTrue_ = false;
+  std::unordered_map<const expr::Node*, Lit> boolMemo_;
+  std::unordered_map<const expr::Node*, std::vector<Lit>> bvMemo_;
+};
+
+}  // namespace pugpara::smt::mini

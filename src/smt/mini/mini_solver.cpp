@@ -1,0 +1,166 @@
+// MiniSMT: the from-scratch QF_ABV solver backend. Pipeline per check():
+// quantifier screen -> array lowering (read-over-write + Ackermann) ->
+// signed/division elimination -> Tseitin bit-blasting -> CDCL.
+//
+// Faithful to the paper's era in one deliberate way: quantified formulas
+// are rejected with Unknown, which is exactly the solver limitation that
+// motivates PUGpara's quantifier-elimination machinery (Sec. IV-D). The
+// MonotoneQe frame mode produces quantifier-free VCs this backend can
+// decide; NativeForall VCs it cannot.
+#include <memory>
+
+#include "expr/eval.h"
+#include "expr/walk.h"
+#include "smt/mini/array_lower.h"
+#include "smt/mini/bitblast.h"
+#include "smt/mini/preprocess.h"
+#include "smt/solver.h"
+#include "support/diagnostics.h"
+#include "support/timer.h"
+
+namespace pugpara::smt {
+
+namespace {
+
+using expr::Expr;
+using mini::BitBlaster;
+using mini::SatSolver;
+
+bool containsQuantifier(Expr e) {
+  bool found = false;
+  expr::postOrder(e, [&found](Expr n) {
+    if (n.kind() == expr::Kind::Forall || n.kind() == expr::Kind::Exists)
+      found = true;
+  });
+  return found;
+}
+
+class MiniModel final : public Model {
+ public:
+  explicit MiniModel(expr::Env env) : env_(std::move(env)) {}
+
+  [[nodiscard]] uint64_t evalBv(Expr e) const override {
+    return expr::evalBv(e, env_);
+  }
+  [[nodiscard]] bool evalBool(Expr e) const override {
+    return expr::evalBool(e, env_);
+  }
+
+ private:
+  expr::Env env_;
+};
+
+class MiniSolver final : public Solver {
+ public:
+  void push() override { scopes_.push_back(assertions_.size()); }
+
+  void pop() override {
+    require(!scopes_.empty(), "MiniSolver::pop without push");
+    assertions_.resize(scopes_.back());
+    scopes_.pop_back();
+  }
+
+  void add(Expr assertion) override {
+    require(assertion.sort().isBool(), "asserted expression must be Bool");
+    assertions_.push_back(assertion);
+  }
+
+  CheckResult check() override {
+    model_.reset();
+    if (assertions_.empty()) {
+      model_ = std::make_unique<MiniModel>(expr::Env{});
+      return CheckResult::Sat;
+    }
+    expr::Context& ctx = assertions_.front().ctx();
+
+    for (Expr a : assertions_)
+      if (containsQuantifier(a)) return CheckResult::Unknown;
+
+    mini::ArrayLowering arrays;
+    mini::Preprocessed pre;
+    try {
+      arrays = mini::lowerArrays(ctx, assertions_);
+      std::vector<Expr> all = arrays.formulas;
+      all.insert(all.end(), arrays.constraints.begin(),
+                 arrays.constraints.end());
+      pre = mini::preprocess(ctx, all);
+    } catch (const PugError&) {
+      return CheckResult::Unknown;  // outside the supported fragment
+    }
+
+    SatSolver sat;
+    BitBlaster bb(sat);
+    std::vector<Expr> final = pre.formulas;
+    final.insert(final.end(), pre.constraints.begin(),
+                 pre.constraints.end());
+    try {
+      for (Expr f : final) bb.assertTrue(f);
+    } catch (const PugError&) {
+      return CheckResult::Unknown;
+    }
+
+    WallTimer timer;
+    const uint32_t budget = timeoutMs_;
+    if (budget != 0)
+      sat.setInterrupt(
+          [&timer, budget]() { return timer.millis() < budget; });
+
+    switch (sat.solve()) {
+      case mini::SatResult::Unsat:
+        return CheckResult::Unsat;
+      case mini::SatResult::Aborted:
+        return CheckResult::Unknown;
+      case mini::SatResult::Sat:
+        break;
+    }
+
+    // Build the model environment: scalar variables from their bits, array
+    // variables from the Ackermann reads.
+    expr::Env env;
+    std::unordered_map<const expr::Node*, expr::ArrayValue> arrayVals;
+    for (Expr f : final) {
+      for (Expr v : expr::freeVars(f)) {
+        if (v.sort().isBool()) {
+          env.bindBool(v, bb.modelBool(v));
+        } else if (v.sort().isBv()) {
+          env.bindBv(v, bb.modelBv(v));
+        }
+      }
+    }
+    for (const mini::AckermannRead& rd : arrays.reads) {
+      // The recorded index is select-free and its scalar leaves are bound
+      // above, so the concrete evaluator computes it directly.
+      const uint64_t idx = expr::evalBv(rd.index, env);
+      const uint64_t val = expr::evalBv(rd.value, env);
+      arrayVals[rd.array.node()].set(idx, val);
+    }
+    (void)ctx;
+    for (auto& [node, av] : arrayVals)
+      env.bind(Expr(node), expr::Value::ofArray(std::move(av)));
+
+    model_ = std::make_unique<MiniModel>(std::move(env));
+    return CheckResult::Sat;
+  }
+
+  [[nodiscard]] std::unique_ptr<Model> model() override {
+    require(model_ != nullptr, "MiniSolver::model: last check was not sat");
+    return std::move(model_);
+  }
+
+  void setTimeoutMs(uint32_t ms) override { timeoutMs_ = ms; }
+  [[nodiscard]] std::string name() const override { return "minismt"; }
+
+ private:
+  std::vector<Expr> assertions_;
+  std::vector<size_t> scopes_;
+  uint32_t timeoutMs_ = 0;
+  std::unique_ptr<MiniModel> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> makeMiniSolver() {
+  return std::make_unique<MiniSolver>();
+}
+
+}  // namespace pugpara::smt

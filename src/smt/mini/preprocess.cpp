@@ -1,0 +1,163 @@
+#include "smt/mini/preprocess.h"
+
+#include <unordered_map>
+
+#include "expr/subst.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::smt::mini {
+
+using expr::Expr;
+using expr::Kind;
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(expr::Context& ctx) : ctx_(ctx) {}
+
+  Expr rewrite(Expr e) {
+    auto it = memo_.find(e.node());
+    if (it != memo_.end()) return it->second;
+    Expr r = compute(e);
+    memo_.emplace(e.node(), r);
+    return r;
+  }
+
+  std::vector<Expr> takeConstraints() { return std::move(constraints_); }
+
+ private:
+  Expr msbSet(Expr x) {
+    const uint32_t w = x.sort().width();
+    return ctx_.mkEq(ctx_.mkExtract(x, w - 1, w - 1), ctx_.bvVal(1, 1));
+  }
+
+  /// Fresh (q, r) with zext(q)*zext(b) + zext(r) == zext(a) at 2w bits and
+  /// r < b, plus SMT-LIB's division-by-zero cases.
+  std::pair<Expr, Expr> divRem(Expr a, Expr b) {
+    const auto key = std::make_pair(a.node(), b.node());
+    if (auto it = divMemo_.find(key); it != divMemo_.end()) return it->second;
+    const uint32_t w = a.sort().width();
+    require(w <= 32, "MiniSMT: division above 32 bits is not supported");
+    Expr q = ctx_.freshVar("mini_q", a.sort());
+    Expr r = ctx_.freshVar("mini_r", a.sort());
+    Expr zero = ctx_.bvVal(0, w);
+    Expr allOnes = ctx_.bvVal(expr::maskToWidth(~uint64_t{0}, w), w);
+
+    Expr wideEq = ctx_.mkEq(
+        ctx_.mkAdd(ctx_.mkMul(ctx_.mkZeroExt(q, w), ctx_.mkZeroExt(b, w)),
+                   ctx_.mkZeroExt(r, w)),
+        ctx_.mkZeroExt(a, w));
+    Expr nonZero = ctx_.mkImplies(
+        ctx_.mkNe(b, zero), ctx_.mkAnd(wideEq, ctx_.mkUlt(r, b)));
+    Expr zeroCase = ctx_.mkImplies(
+        ctx_.mkEq(b, zero),
+        ctx_.mkAnd(ctx_.mkEq(q, allOnes), ctx_.mkEq(r, a)));
+    constraints_.push_back(ctx_.mkAnd(nonZero, zeroCase));
+    auto qr = std::make_pair(q, r);
+    divMemo_.emplace(key, qr);
+    return qr;
+  }
+
+  Expr compute(Expr e) {
+    switch (e.kind()) {
+      case Kind::Var:
+      case Kind::BoolConst:
+      case Kind::BvConst:
+        return e;
+      case Kind::BvUDiv: {
+        Expr a = rewrite(e.kid(0)), b = rewrite(e.kid(1));
+        if (a.isBvConst() && b.isBvConst()) return ctx_.mkUDiv(a, b);
+        return divRem(a, b).first;
+      }
+      case Kind::BvURem: {
+        Expr a = rewrite(e.kid(0)), b = rewrite(e.kid(1));
+        if (a.isBvConst() && b.isBvConst()) return ctx_.mkURem(a, b);
+        return divRem(a, b).second;
+      }
+      case Kind::BvSDiv:
+      case Kind::BvSRem: {
+        // SMT-LIB expansion via unsigned division on magnitudes.
+        Expr a = rewrite(e.kid(0)), b = rewrite(e.kid(1));
+        Expr negA = msbSet(a), negB = msbSet(b);
+        Expr absA = ctx_.mkIte(negA, ctx_.mkBvNeg(a), a);
+        Expr absB = ctx_.mkIte(negB, ctx_.mkBvNeg(b), b);
+        if (e.kind() == Kind::BvSDiv) {
+          Expr q = rewrite(ctx_.mkUDiv(absA, absB));
+          return ctx_.mkIte(ctx_.mkXor(negA, negB), ctx_.mkBvNeg(q), q);
+        }
+        Expr r = rewrite(ctx_.mkURem(absA, absB));
+        return ctx_.mkIte(negA, ctx_.mkBvNeg(r), r);  // sign of the dividend
+      }
+      case Kind::BvAShr: {
+        Expr a = rewrite(e.kid(0)), s = rewrite(e.kid(1));
+        Expr shifted = ctx_.mkLShr(a, s);
+        Expr filled =
+            ctx_.mkBvNot(ctx_.mkLShr(ctx_.mkBvNot(a), s));
+        return ctx_.mkIte(msbSet(a), filled, shifted);
+      }
+      case Kind::BvSlt:
+      case Kind::BvSle: {
+        // Signed comparison == unsigned comparison with flipped sign bits.
+        Expr a = rewrite(e.kid(0)), b = rewrite(e.kid(1));
+        const uint32_t w = a.sort().width();
+        Expr flip = ctx_.bvVal(uint64_t{1} << (w - 1), w);
+        Expr fa = ctx_.mkBvXor(a, flip);
+        Expr fb = ctx_.mkBvXor(b, flip);
+        return e.kind() == Kind::BvSlt ? ctx_.mkUlt(fa, fb)
+                                       : ctx_.mkUle(fa, fb);
+      }
+      default: {
+        std::vector<Expr> kids;
+        kids.reserve(e.arity());
+        bool changed = false;
+        for (size_t i = 0; i < e.arity(); ++i) {
+          Expr k = rewrite(e.kid(i));
+          changed |= (k != e.kid(i));
+          kids.push_back(k);
+        }
+        return changed ? expr::rebuildWithKids(e, kids) : e;
+      }
+    }
+  }
+
+  struct PairHash {
+    size_t operator()(
+        const std::pair<const expr::Node*, const expr::Node*>& p) const {
+      return std::hash<const expr::Node*>()(p.first) * 31 ^
+             std::hash<const expr::Node*>()(p.second);
+    }
+  };
+
+  expr::Context& ctx_;
+  std::unordered_map<const expr::Node*, Expr> memo_;
+  std::unordered_map<std::pair<const expr::Node*, const expr::Node*>,
+                     std::pair<Expr, Expr>, PairHash>
+      divMemo_;
+  std::vector<Expr> constraints_;
+};
+
+}  // namespace
+
+Preprocessed preprocess(expr::Context& ctx,
+                        std::span<const expr::Expr> assertions) {
+  Rewriter rw(ctx);
+  Preprocessed out;
+  out.formulas.reserve(assertions.size());
+  for (Expr a : assertions) out.formulas.push_back(rw.rewrite(a));
+  // Constraints may themselves contain division (nested): rewrite to a
+  // fixpoint. divRem memoization guarantees termination.
+  std::vector<Expr> pending = rw.takeConstraints();
+  while (!pending.empty()) {
+    std::vector<Expr> next;
+    for (Expr c : pending) {
+      Expr r = rw.rewrite(c);
+      out.constraints.push_back(r);
+    }
+    next = rw.takeConstraints();
+    pending = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,23 @@
+// MiniSMT preprocessing: rewrites signed operations into the unsigned core
+// (SMT-LIB's defining expansions) and eliminates division/remainder by
+// introducing fresh quotient/remainder variables with exact double-width
+// defining constraints.
+#pragma once
+
+#include <vector>
+
+#include "expr/context.h"
+
+namespace pugpara::smt::mini {
+
+struct Preprocessed {
+  std::vector<expr::Expr> formulas;
+  std::vector<expr::Expr> constraints;  // division/remainder definitions
+};
+
+/// Rewrites `assertions`. Throws PugError when a division at width > 32
+/// appears (the exact definition needs a 2w-bit product).
+[[nodiscard]] Preprocessed preprocess(expr::Context& ctx,
+                                      std::span<const expr::Expr> assertions);
+
+}  // namespace pugpara::smt::mini

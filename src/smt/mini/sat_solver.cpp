@@ -1,0 +1,389 @@
+#include "smt/mini/sat_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::smt::mini {
+
+// ---- Variable order: indexed binary max-heap on activity --------------------
+// Kept inside the .cpp: the header exposes only order_/heapPos_ storage.
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescale = 1e100;
+}  // namespace
+
+Var SatSolver::newVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  savedPhase_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapPos_.push_back(static_cast<uint32_t>(order_.size()));
+  order_.push_back(v);
+  // Sift up is unnecessary (activity 0 <= everything).
+  return v;
+}
+
+// heap helpers ---------------------------------------------------------------
+
+namespace {
+inline size_t heapLeft(size_t i) { return 2 * i + 1; }
+inline size_t heapParent(size_t i) { return (i - 1) / 2; }
+}  // namespace
+
+void SatSolver::heapSiftUp(Var v) {
+  uint32_t pos = heapPos_[v];
+  if (pos == UINT32_MAX) return;
+  while (pos > 0) {
+    size_t parent = heapParent(pos);
+    if (activity_[order_[parent]] >= activity_[v]) break;
+    order_[pos] = order_[parent];
+    heapPos_[order_[pos]] = pos;
+    pos = static_cast<uint32_t>(parent);
+  }
+  order_[pos] = v;
+  heapPos_[v] = pos;
+}
+
+void SatSolver::bumpVar(Var v) {
+  activity_[v] += varInc_;
+  if (activity_[v] > kRescale) {
+    for (double& a : activity_) a /= kRescale;
+    varInc_ /= kRescale;
+  }
+  heapSiftUp(v);
+}
+
+Lit SatSolver::pickBranch() {
+  while (!order_.empty()) {
+    Var v = order_.front();
+    // Pop max.
+    Var last = order_.back();
+    order_.pop_back();
+    heapPos_[v] = UINT32_MAX;
+    if (!order_.empty()) {
+      // Sift `last` down from the root.
+      size_t pos = 0;
+      for (;;) {
+        size_t child = heapLeft(pos);
+        if (child >= order_.size()) break;
+        if (child + 1 < order_.size() &&
+            activity_[order_[child + 1]] > activity_[order_[child]])
+          ++child;
+        if (activity_[order_[child]] <= activity_[last]) break;
+        order_[pos] = order_[child];
+        heapPos_[order_[pos]] = static_cast<uint32_t>(pos);
+        pos = child;
+      }
+      order_[pos] = last;
+      heapPos_[last] = static_cast<uint32_t>(pos);
+    }
+    if (!assigned(v)) return Lit(v, !savedPhase_[v]);
+  }
+  return Lit();  // undefined: everything assigned
+}
+
+// clause management -----------------------------------------------------------
+
+bool SatSolver::addClause(std::vector<Lit> lits) {
+  if (unsatAtTopLevel_) return false;
+  // Normalize: sort, dedupe, drop tautologies.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i].var() == lits[i + 1].var()) return true;  // l ∨ ¬l
+  if (lits.empty()) {
+    unsatAtTopLevel_ = true;
+    return false;
+  }
+  if (lits.size() == 1) {
+    units_.push_back(lits[0]);
+    return true;
+  }
+  Clause c;
+  c.lits = std::move(lits);
+  clauses_.push_back(std::move(c));
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void SatSolver::attach(ClauseRef cr) {
+  const Clause& c = clauses_[cr];
+  watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
+  watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+}
+
+// trail / propagation -----------------------------------------------------------
+
+void SatSolver::enqueue(Lit l, ClauseRef reason) {
+  assigns_[l.var()] = l.negated() ? LBool::False : LBool::True;
+  savedPhase_[l.var()] = !l.negated();
+  level_[l.var()] = static_cast<int>(trailLim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.code()];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Ensure c.lits[1] is the falsified watch (~p).
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      if (value(c.lits[0]) == LBool::True) {
+        ws[keep++] = {w.clause, c.lits[0]};
+        continue;
+      }
+      // Find a replacement watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code()].push_back({w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      ws[keep++] = w;
+      if (value(c.lits[0]) == LBool::False) {
+        // Conflict: keep the remaining watchers and report.
+        for (size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c.lits[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void SatSolver::backtrack(int targetLevel) {
+  if (static_cast<int>(trailLim_.size()) <= targetLevel) return;
+  const size_t bound = trailLim_[targetLevel];
+  for (size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kNoReason;
+    if (heapPos_[v] == UINT32_MAX) {
+      heapPos_[v] = static_cast<uint32_t>(order_.size());
+      order_.push_back(v);
+      heapSiftUp(v);
+    }
+  }
+  trail_.resize(bound);
+  trailLim_.resize(targetLevel);
+  qhead_ = trail_.size();
+}
+
+// conflict analysis ---------------------------------------------------------------
+
+void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                        int& backLevel) {
+  learnt.clear();
+  learnt.push_back(Lit());  // slot for the asserting literal
+  int counter = 0;
+  Lit p;
+  bool first = true;
+  size_t index = trail_.size();
+  const int curLevel = static_cast<int>(trailLim_.size());
+
+  ClauseRef cr = conflict;
+  do {
+    Clause& c = clauses_[cr];
+    if (c.learnt) bumpClause(c);
+    for (size_t i = first ? 0 : 1; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bumpVar(q.var());
+      if (level_[q.var()] >= curLevel) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Next literal on the trail to resolve on.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    seen_[p.var()] = 0;
+    cr = reason_[p.var()];
+    first = false;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Cheap self-subsumption minimization: drop literals whose reason clause
+  // is entirely covered by the learnt set.
+  auto redundant = [&](Lit l) {
+    const ClauseRef r = reason_[l.var()];
+    if (r == kNoReason) return false;
+    const Clause& rc = clauses_[r];
+    for (size_t i = 1; i < rc.lits.size(); ++i) {
+      const Lit q = rc.lits[i];
+      if (!seen_[q.var()] && level_[q.var()] != 0) return false;
+    }
+    return true;
+  };
+  // The seen_ marks must stay valid while redundant() runs and must ALL be
+  // cleared afterwards — including those of dropped literals, which the
+  // in-place compaction overwrites.
+  const std::vector<Lit> original(learnt.begin() + 1, learnt.end());
+  size_t keep = 1;
+  for (size_t i = 1; i < learnt.size(); ++i)
+    if (!redundant(learnt[i])) learnt[keep++] = learnt[i];
+  for (const Lit l : original) seen_[l.var()] = 0;
+  learnt.resize(keep);
+
+  // Backjump level: highest level among the non-asserting literals.
+  backLevel = 0;
+  for (size_t i = 1; i < learnt.size(); ++i) {
+    backLevel = std::max(backLevel, level_[learnt[i].var()]);
+    if (level_[learnt[i].var()] == backLevel) std::swap(learnt[1], learnt[i]);
+  }
+}
+
+void SatSolver::bumpClause(Clause& c) {
+  c.activity += clauseInc_;
+  if (c.activity > kRescale) {
+    for (Clause& cl : clauses_)
+      if (cl.learnt) cl.activity /= kRescale;
+    clauseInc_ /= kRescale;
+  }
+}
+
+void SatSolver::decayActivities() {
+  varInc_ /= kVarDecay;
+  clauseInc_ /= kClauseDecay;
+}
+
+void SatSolver::reduceLearnts() {
+  // Drop the less active half of the learnt clauses that are not reasons.
+  std::vector<ClauseRef> learnts;
+  for (ClauseRef i = 0; i < clauses_.size(); ++i)
+    if (clauses_[i].learnt) learnts.push_back(i);
+  if (learnts.size() < 64) return;
+  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> isReason(clauses_.size(), false);
+  for (const Lit l : trail_)
+    if (reason_[l.var()] != kNoReason) isReason[reason_[l.var()]] = true;
+
+  std::vector<bool> drop(clauses_.size(), false);
+  for (size_t i = 0; i < learnts.size() / 2; ++i)
+    if (!isReason[learnts[i]] && clauses_[learnts[i]].lits.size() > 2)
+      drop[learnts[i]] = true;
+
+  // Rebuild watches without the dropped clauses. Clause refs must stay
+  // stable (reasons point into clauses_), so we only clear bodies.
+  for (auto& ws : watches_) {
+    size_t keep = 0;
+    for (const Watcher& w : ws)
+      if (!drop[w.clause]) ws[keep++] = w;
+    ws.resize(keep);
+  }
+  for (ClauseRef i = 0; i < clauses_.size(); ++i)
+    if (drop[i]) clauses_[i].lits.clear(), clauses_[i].learnt = false;
+}
+
+uint64_t SatSolver::luby(uint64_t i) {
+  // Knuth's formula for the Luby sequence.
+  uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return uint64_t{1} << seq;
+}
+
+SatResult SatSolver::solve() {
+  if (unsatAtTopLevel_) return SatResult::Unsat;
+  // Top-level units.
+  for (const Lit u : units_) {
+    if (value(u) == LBool::False) return SatResult::Unsat;
+    if (value(u) == LBool::Undef) enqueue(u, kNoReason);
+  }
+  if (propagate() != kNoReason) return SatResult::Unsat;
+
+  std::vector<Lit> learnt;
+  uint64_t restartBase = 64;
+  uint64_t conflictsAtRestart = 0;
+  uint64_t restartBudget = restartBase * luby(stats_.restarts);
+  uint64_t reduceBudget = 2000;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflictsAtRestart;
+      if (trailLim_.empty()) return SatResult::Unsat;
+      int backLevel = 0;
+      analyze(conflict, learnt, backLevel);
+      backtrack(backLevel);
+      if (learnt.size() == 1) {
+        if (!trailLim_.empty()) backtrack(0);
+        if (value(learnt[0]) == LBool::False) return SatResult::Unsat;
+        if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], kNoReason);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        clauses_.push_back(std::move(c));
+        const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach(cr);
+        bumpClause(clauses_[cr]);
+        ++stats_.learnts;
+        enqueue(learnt[0], cr);
+      }
+      decayActivities();
+
+      if (conflictBudget_ != 0 && stats_.conflicts >= conflictBudget_)
+        return SatResult::Aborted;
+      if ((stats_.conflicts & 2047) == 0 && keepGoing_ && !keepGoing_())
+        return SatResult::Aborted;
+      if (stats_.learnts > reduceBudget) {
+        reduceLearnts();
+        reduceBudget += reduceBudget / 2;
+      }
+      if (conflictsAtRestart >= restartBudget) {
+        ++stats_.restarts;
+        conflictsAtRestart = 0;
+        restartBudget = restartBase * luby(stats_.restarts);
+        backtrack(0);
+      }
+    } else {
+      const Lit next = pickBranch();
+      if (next == Lit()) return SatResult::Sat;
+      ++stats_.decisions;
+      trailLim_.push_back(trail_.size());
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,114 @@
+// A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
+// conflict analysis with non-chronological backjumping, EVSIDS branching,
+// phase saving, Luby restarts and activity-based learnt-clause reduction.
+// Single-shot solving (the MiniSMT layer re-blasts per check), which keeps
+// the state machine simple and the behavior deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "smt/mini/sat_types.h"
+
+namespace pugpara::smt::mini {
+
+enum class SatResult { Sat, Unsat, Aborted };
+
+class SatSolver {
+ public:
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+  [[nodiscard]] size_t numVars() const { return watches_.size() / 2; }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat).
+  /// Returns false if the solver is already unsat.
+  bool addClause(std::vector<Lit> lits);
+
+  /// Budget: abort after this many conflicts (0 = unlimited). The caller
+  /// converts wall-clock budgets into conflict budgets via the callback.
+  void setConflictBudget(uint64_t conflicts) { conflictBudget_ = conflicts; }
+  /// Optional periodic callback (every ~2048 conflicts); return false to
+  /// abort (wall-clock timeouts).
+  void setInterrupt(std::function<bool()> keepGoing) {
+    keepGoing_ = std::move(keepGoing);
+  }
+
+  [[nodiscard]] SatResult solve();
+
+  /// Value of a variable in the model (valid after Sat).
+  [[nodiscard]] bool modelValue(Var v) const {
+    return assigns_[v] == LBool::True;
+  }
+
+  // Statistics (exposed for the micro bench and tests).
+  struct Stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learnts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0;
+  };
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef kNoReason = UINT32_MAX;
+
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;
+  };
+
+  [[nodiscard]] LBool value(Lit l) const {
+    return assigns_[l.var()] ^ l.negated();
+  }
+  [[nodiscard]] bool assigned(Var v) const {
+    return assigns_[v] != LBool::Undef;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  [[nodiscard]] ClauseRef propagate();  // kNoReason when no conflict
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backLevel);
+  void backtrack(int level);
+  [[nodiscard]] Lit pickBranch();
+  void heapSiftUp(Var v);
+  void bumpVar(Var v);
+  void bumpClause(Clause& c);
+  void decayActivities();
+  void reduceLearnts();
+  void attach(ClauseRef cr);
+  [[nodiscard]] static uint64_t luby(uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
+  std::vector<LBool> assigns_;
+  std::vector<bool> savedPhase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<size_t> trailLim_;
+  size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double varInc_ = 1.0;
+  double clauseInc_ = 1.0;
+  std::vector<uint32_t> heapPos_;  // lazy: linear scan fallback; see .cpp
+  std::vector<Var> order_;
+
+  std::vector<Lit> units_;  // top-level units added before solving
+  bool unsatAtTopLevel_ = false;
+  uint64_t conflictBudget_ = 0;
+  std::function<bool()> keepGoing_;
+  Stats stats_;
+
+  // Scratch for analyze().
+  std::vector<uint8_t> seen_;
+};
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,46 @@
+// Core SAT types: variables, literals and the three-valued assignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pugpara::smt::mini {
+
+using Var = uint32_t;
+constexpr Var kNoVar = UINT32_MAX;
+
+/// A literal encodes (variable, sign) as var*2 + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var v, bool negated) : code_(v * 2 + (negated ? 1 : 0)) {}
+
+  [[nodiscard]] Var var() const { return code_ / 2; }
+  [[nodiscard]] bool negated() const { return code_ & 1; }
+  [[nodiscard]] uint32_t code() const { return code_; }
+  [[nodiscard]] Lit operator~() const {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
+  friend bool operator<(Lit a, Lit b) { return a.code_ < b.code_; }
+
+  [[nodiscard]] std::string str() const {
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+ private:
+  uint32_t code_ = UINT32_MAX;
+};
+
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool operator^(LBool b, bool flip) {
+  if (b == LBool::Undef) return b;
+  return (b == LBool::True) != flip ? LBool::True : LBool::False;
+}
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,26 @@
+#include "smt/solver.h"
+
+#include "support/diagnostics.h"
+
+namespace pugpara::smt {
+
+const char* toString(CheckResult r) {
+  switch (r) {
+    case CheckResult::Sat: return "sat";
+    case CheckResult::Unsat: return "unsat";
+    case CheckResult::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::unique_ptr<Solver> makeSolver(Backend backend) {
+  switch (backend) {
+    case Backend::Z3: return makeZ3Solver();
+    case Backend::Mini: return makeMiniSolver();  // NOLINT
+  }
+  throw PugError("unknown solver backend");
+}
+
+// makeMiniSolver is defined in smt/mini/mini_solver.cpp.
+
+}  // namespace pugpara::smt

@@ -1,0 +1,61 @@
+// Backend-independent SMT solver interface.
+//
+// Two implementations exist:
+//  * Z3Solver (z3_solver.cpp)  — the solver the paper used; supports
+//    quantified formulas natively.
+//  * MiniSolver (smt/mini/...) — a from-scratch bit-blasting CDCL solver;
+//    rejects quantifiers with Unknown, which mirrors the paper's observation
+//    that quantified formulas defeat the SMT solvers of the day and motivates
+//    PUGpara's quantifier-elimination machinery (Sec. IV-D).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "expr/expr.h"
+
+namespace pugpara::smt {
+
+enum class CheckResult { Sat, Unsat, Unknown };
+
+[[nodiscard]] const char* toString(CheckResult r);
+
+/// A satisfying assignment. Valid until the owning Solver is mutated
+/// (add/push/pop/check) or destroyed.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Evaluates an arbitrary bit-vector expression under the model
+  /// (model-completion semantics: unconstrained subterms get some value).
+  [[nodiscard]] virtual uint64_t evalBv(expr::Expr e) const = 0;
+  /// Evaluates an arbitrary Bool expression under the model.
+  [[nodiscard]] virtual bool evalBool(expr::Expr e) const = 0;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual void push() = 0;
+  virtual void pop() = 0;
+  /// Asserts a Bool-sorted expression.
+  virtual void add(expr::Expr assertion) = 0;
+  virtual CheckResult check() = 0;
+  /// Returns the model after a Sat check(). PugError otherwise.
+  [[nodiscard]] virtual std::unique_ptr<Model> model() = 0;
+
+  /// Soft wall-clock budget per check() call; 0 = unlimited.
+  virtual void setTimeoutMs(uint32_t ms) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class Backend { Z3, Mini };
+
+/// Factory. Every solver instance is single-threaded and owns its backend
+/// state; create one per verification task.
+[[nodiscard]] std::unique_ptr<Solver> makeSolver(Backend backend);
+[[nodiscard]] std::unique_ptr<Solver> makeZ3Solver();
+[[nodiscard]] std::unique_ptr<Solver> makeMiniSolver();
+
+}  // namespace pugpara::smt

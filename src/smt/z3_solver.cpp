@@ -1,0 +1,188 @@
+// Z3 backend: translates the hash-consed Expr DAG into z3::expr with
+// per-node memoization, so shared subterms are translated once.
+#include <z3++.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+#include "smt/solver.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::smt {
+
+namespace {
+
+using expr::Expr;
+using expr::Kind;
+using expr::Node;
+
+class Z3Translator {
+ public:
+  explicit Z3Translator(z3::context& z3) : z3_(z3) {}
+
+  z3::expr translate(Expr e) {
+    auto it = cache_.find(e.node());
+    if (it != cache_.end()) return it->second;
+    z3::expr r = build(e);
+    cache_.emplace(e.node(), r);
+    return r;
+  }
+
+ private:
+  z3::sort sortOf(expr::Sort s) {
+    if (s.isBool()) return z3_.bool_sort();
+    if (s.isBv()) return z3_.bv_sort(s.width());
+    return z3_.array_sort(z3_.bv_sort(s.indexWidth()),
+                          z3_.bv_sort(s.elemWidth()));
+  }
+
+  z3::expr build(Expr e) {
+    switch (e.kind()) {
+      case Kind::BoolConst: return z3_.bool_val(e.isTrue());
+      case Kind::BvConst:
+        return z3_.bv_val(static_cast<uint64_t>(e.bvValue()),
+                          e.sort().width());
+      case Kind::Var:
+        return z3_.constant(e.varName().c_str(), sortOf(e.sort()));
+      case Kind::Not: return !translate(e.kid(0));
+      case Kind::And: return translate(e.kid(0)) && translate(e.kid(1));
+      case Kind::Or: return translate(e.kid(0)) || translate(e.kid(1));
+      case Kind::Xor:
+        return translate(e.kid(0)) != translate(e.kid(1));
+      case Kind::Implies:
+        return z3::implies(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::Eq: return translate(e.kid(0)) == translate(e.kid(1));
+      case Kind::Ite:
+        return z3::ite(translate(e.kid(0)), translate(e.kid(1)),
+                       translate(e.kid(2)));
+      case Kind::BvNeg: return -translate(e.kid(0));
+      case Kind::BvNot: return ~translate(e.kid(0));
+      case Kind::BvAdd: return translate(e.kid(0)) + translate(e.kid(1));
+      case Kind::BvSub: return translate(e.kid(0)) - translate(e.kid(1));
+      case Kind::BvMul: return translate(e.kid(0)) * translate(e.kid(1));
+      case Kind::BvUDiv:
+        return z3::udiv(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvURem:
+        return z3::urem(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvSDiv: return translate(e.kid(0)) / translate(e.kid(1));
+      case Kind::BvSRem:
+        return z3::srem(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvAnd: return translate(e.kid(0)) & translate(e.kid(1));
+      case Kind::BvOr: return translate(e.kid(0)) | translate(e.kid(1));
+      case Kind::BvXor: return translate(e.kid(0)) ^ translate(e.kid(1));
+      case Kind::BvShl:
+        return z3::shl(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvLShr:
+        return z3::lshr(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvAShr:
+        return z3::ashr(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvUlt:
+        return z3::ult(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvUle:
+        return z3::ule(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvSlt: return translate(e.kid(0)) < translate(e.kid(1));
+      case Kind::BvSle: return translate(e.kid(0)) <= translate(e.kid(1));
+      case Kind::BvConcat:
+        return z3::concat(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::BvExtract:
+        return translate(e.kid(0)).extract(e.extractHi(), e.extractLo());
+      case Kind::BvZeroExt:
+        return z3::zext(translate(e.kid(0)), e.extendBy());
+      case Kind::BvSignExt:
+        return z3::sext(translate(e.kid(0)), e.extendBy());
+      case Kind::Select:
+        return z3::select(translate(e.kid(0)), translate(e.kid(1)));
+      case Kind::Store:
+        return z3::store(translate(e.kid(0)), translate(e.kid(1)),
+                         translate(e.kid(2)));
+      case Kind::Forall:
+      case Kind::Exists: {
+        z3::expr_vector bound(z3_);
+        for (uint32_t i = 0; i < e.boundCount(); ++i)
+          bound.push_back(translate(e.kid(i)));
+        z3::expr body = translate(e.kid(e.boundCount()));
+        return e.kind() == Kind::Forall ? z3::forall(bound, body)
+                                        : z3::exists(bound, body);
+      }
+    }
+    throw PugError("Z3 translation: unhandled expression kind");
+  }
+
+  z3::context& z3_;
+  std::unordered_map<const Node*, z3::expr> cache_;
+};
+
+class Z3Model final : public Model {
+ public:
+  Z3Model(std::shared_ptr<z3::context> z3, z3::model m,
+          std::shared_ptr<Z3Translator> tr)
+      : z3_(std::move(z3)), model_(std::move(m)), tr_(std::move(tr)) {}
+
+  [[nodiscard]] uint64_t evalBv(Expr e) const override {
+    require(e.sort().isBv(), "Z3Model::evalBv on non-bitvector expression");
+    z3::expr v = model_.eval(tr_->translate(e), /*model_completion=*/true);
+    uint64_t out = 0;
+    require(v.is_numeral_u64(out), "Z3 model value is not a numeral");
+    return out;
+  }
+
+  [[nodiscard]] bool evalBool(Expr e) const override {
+    require(e.sort().isBool(), "Z3Model::evalBool on non-Bool expression");
+    z3::expr v = model_.eval(tr_->translate(e), /*model_completion=*/true);
+    return v.is_true();
+  }
+
+ private:
+  std::shared_ptr<z3::context> z3_;
+  z3::model model_;
+  std::shared_ptr<Z3Translator> tr_;
+};
+
+class Z3Solver final : public Solver {
+ public:
+  Z3Solver()
+      : z3_(std::make_shared<z3::context>()),
+        solver_(*z3_),
+        tr_(std::make_shared<Z3Translator>(*z3_)) {}
+
+  void push() override { solver_.push(); }
+  void pop() override { solver_.pop(); }
+
+  void add(Expr assertion) override {
+    require(assertion.sort().isBool(), "asserted expression must be Bool");
+    solver_.add(tr_->translate(assertion));
+  }
+
+  CheckResult check() override {
+    switch (solver_.check()) {
+      case z3::sat: return CheckResult::Sat;
+      case z3::unsat: return CheckResult::Unsat;
+      default: return CheckResult::Unknown;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Model> model() override {
+    return std::make_unique<Z3Model>(z3_, solver_.get_model(), tr_);
+  }
+
+  void setTimeoutMs(uint32_t ms) override {
+    z3::params p(*z3_);
+    p.set("timeout", ms == 0 ? 4294967295u : ms);
+    solver_.set(p);
+  }
+
+  [[nodiscard]] std::string name() const override { return "z3"; }
+
+ private:
+  std::shared_ptr<z3::context> z3_;
+  z3::solver solver_;
+  std::shared_ptr<Z3Translator> tr_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> makeZ3Solver() { return std::make_unique<Z3Solver>(); }
+
+}  // namespace pugpara::smt

@@ -1,0 +1,67 @@
+// Diagnostics: source locations, errors and warnings collected during
+// parsing, semantic analysis and verification.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pugpara {
+
+/// A position in a kernel source buffer (1-based line and column).
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One diagnostic message attached to a source location.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics produced by a front-end pass. Errors are recorded
+/// rather than thrown so a pass can report several problems at once; callers
+/// check hasErrors() at pass boundaries.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] size_t errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines (for error messages and tests).
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t errorCount_ = 0;
+};
+
+/// Fatal, non-recoverable misuse of the library (internal invariant breaks,
+/// ill-sorted expressions, ...). Front-end errors in *user kernels* go
+/// through DiagnosticEngine instead.
+class PugError : public std::runtime_error {
+ public:
+  explicit PugError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws PugError with the given message when `cond` is false.
+void require(bool cond, const std::string& message);
+
+}  // namespace pugpara

@@ -1,0 +1,32 @@
+// Small deterministic RNG (SplitMix64) for workload generation in tests and
+// benches. Deterministic across platforms, unlike std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace pugpara {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pugpara

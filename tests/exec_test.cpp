@@ -1,0 +1,434 @@
+// VM tests: compilation, concrete kernel execution on real grids, barrier
+// scheduling, and the dynamic race / bank-conflict / coalescing monitors.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exec/compiler.h"
+#include "exec/machine.h"
+#include "lang/parser.h"
+#include "support/rng.h"
+
+namespace pugpara::exec {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<lang::Program> prog;
+  CompiledKernel kernel;
+};
+
+Compiled compileSrc(const char* src) {
+  Compiled c;
+  c.prog = lang::parseAndAnalyze(src);
+  c.kernel = compile(*c.prog->kernels[0]);
+  return c;
+}
+
+TEST(CompilerTest, DisassemblyIsNonEmptyAndLabelsResolve) {
+  auto c = compileSrc(R"(
+void k(int *a, int n) {
+  for (int i = 0; i < n; i++) a[i] = i * 2;
+}
+)");
+  std::string dis = c.kernel.disassemble();
+  EXPECT_NE(dis.find("starr"), std::string::npos);
+  for (const Instr& in : c.kernel.code)
+    if (in.op == Op::Jump || in.op == Op::JumpIfZero)
+      EXPECT_LE(in.a, c.kernel.code.size());
+}
+
+TEST(MachineTest, SimplePerThreadWrite) {
+  auto c = compileSrc("void k(int *a) { a[tid.x] = tid.x + 1; }");
+  LaunchParams p;
+  p.block = {8, 1, 1};
+  std::vector<Buffer> bufs = {Buffer("a", 8)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_EQ(bufs[0].load(i), i + 1);
+}
+
+TEST(MachineTest, ScalarParamsAndArithmetic) {
+  auto c = compileSrc(
+      "void k(int *a, int n, int m) { a[tid.x] = n * m + tid.x; }");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  p.scalarArgs = {6, 7};
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(3), 45u);
+}
+
+TEST(MachineTest, WidthMaskingWrapsAround) {
+  auto c = compileSrc("void k(int *a, int n) { a[0] = n + 1; }");
+  LaunchParams p;
+  p.width = 8;
+  p.scalarArgs = {255};
+  std::vector<Buffer> bufs = {Buffer("a", 1)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 0u);  // 255 + 1 wraps at 8 bits
+}
+
+TEST(MachineTest, SignedVsUnsignedDivision) {
+  auto c = compileSrc(R"(
+void k(int *a, int x, unsigned int y) {
+  a[0] = x / 2;        // signed: -6 / 2 = -3
+  a[1] = y / 2;        // unsigned
+  a[2] = x >> 1;       // arithmetic shift
+  a[3] = y >> 1;       // logical shift
+}
+)");
+  LaunchParams p;
+  p.width = 8;
+  p.scalarArgs = {0xFA /* -6 */, 0xFA /* 250 */};
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 0xFDu);  // -3
+  EXPECT_EQ(bufs[0].load(1), 125u);
+  EXPECT_EQ(bufs[0].load(2), 0xFDu);  // -6 >> 1 arithmetic = -3
+  EXPECT_EQ(bufs[0].load(3), 125u);
+}
+
+TEST(MachineTest, ShortCircuitSemantics) {
+  // The second operand must not be evaluated when short-circuited;
+  // otherwise the a[9] access below would trap out-of-bounds.
+  auto c = compileSrc(R"(
+void k(int *a, int n) {
+  if (n > 0 && a[9] == 1) a[0] = 1; else a[0] = 2;
+  if (n == 0 || a[9] == 1) a[1] = 3; else a[1] = 4;
+}
+)");
+  LaunchParams p;
+  p.scalarArgs = {0};
+  std::vector<Buffer> bufs = {Buffer("a", 2)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 2u);
+  EXPECT_EQ(bufs[0].load(1), 3u);
+}
+
+TEST(MachineTest, TernaryMinMaxAbs) {
+  auto c = compileSrc(R"(
+void k(int *a, int x) {
+  a[0] = x > 2 ? 10 : 20;
+  a[1] = min(x, 2);
+  a[2] = max(x, 2);
+  a[3] = abs(0 - x);
+}
+)");
+  LaunchParams p;
+  p.scalarArgs = {5};
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 10u);
+  EXPECT_EQ(bufs[0].load(1), 2u);
+  EXPECT_EQ(bufs[0].load(2), 5u);
+  EXPECT_EQ(bufs[0].load(3), 5u);
+}
+
+TEST(MachineTest, EarlyReturnGuardsRestOfKernel) {
+  auto c = compileSrc(R"(
+void k(int *a, int n) {
+  if (tid.x >= n) return;
+  a[tid.x] = 7;
+}
+)");
+  LaunchParams p;
+  p.block = {8, 1, 1};
+  p.scalarArgs = {3};
+  std::vector<Buffer> bufs = {Buffer("a", 8)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(bufs[0].load(i), i < 3 ? 7u : 0u);
+}
+
+TEST(MachineTest, MultiBlockGrid) {
+  auto c = compileSrc(
+      "void k(int *a) { a[bid.x * bdim.x + tid.x] = bid.x * 100 + tid.x; }");
+  LaunchParams p;
+  p.grid = {3, 1, 1};
+  p.block = {4, 1, 1};
+  std::vector<Buffer> bufs = {Buffer("a", 12)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 0u);
+  EXPECT_EQ(bufs[0].load(5), 101u);
+  EXPECT_EQ(bufs[0].load(11), 203u);
+}
+
+// The paper's reduction kernel (modulo variant), run concretely.
+TEST(MachineTest, ReductionKernelComputesBlockSums) {
+  auto c = compileSrc(R"(
+void reduceMod(int *g_odata, int *g_idata) {
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    if ((tid.x % (2 * k)) == 0)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+)");
+  LaunchParams p;
+  p.grid = {2, 1, 1};
+  p.block = {8, 1, 1};
+  Buffer in("g_idata", 16);
+  for (uint64_t i = 0; i < 16; ++i) in.store(i, i + 1);
+  std::vector<Buffer> bufs = {Buffer("g_odata", 2), in};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(0), 36u);   // 1+..+8
+  EXPECT_EQ(bufs[0].load(1), 100u);  // 9+..+16
+}
+
+// The paper's optimized transpose, run concretely against the naive one.
+TEST(MachineTest, TransposeKernelsAgreeConcretely) {
+  auto naive = compileSrc(R"(
+void naiveTranspose(int *odata, int *idata, int width, int height) {
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = xIndex + width * yIndex;
+    int index_out = yIndex + height * xIndex;
+    odata[index_out] = idata[index_in];
+  }
+}
+)");
+  auto opt = compileSrc(R"(
+void optimizedTranspose(int *odata, int *idata, int width, int height) {
+  __shared__ int block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}
+)");
+  const uint32_t W = 8, H = 8, B = 4;
+  LaunchParams p;
+  p.grid = {W / B, H / B, 1};
+  p.block = {B, B, 1};
+  p.scalarArgs = {W, H};
+
+  SplitMix64 rng(42);
+  Buffer in("idata", W * H);
+  for (uint64_t i = 0; i < W * H; ++i) in.store(i, rng.below(1000));
+
+  std::vector<Buffer> bufsNaive = {Buffer("odata", W * H), in};
+  std::vector<Buffer> bufsOpt = {Buffer("odata", W * H), in};
+  auto r1 = launch(naive.kernel, p, bufsNaive);
+  auto r2 = launch(opt.kernel, p, bufsOpt);
+  ASSERT_TRUE(r1.completed) << r1.error;
+  ASSERT_TRUE(r2.completed) << r2.error;
+  EXPECT_EQ(bufsNaive[0].raw(), bufsOpt[0].raw());
+  // And it really is the transpose.
+  for (uint64_t i = 0; i < W; ++i)
+    for (uint64_t j = 0; j < H; ++j)
+      EXPECT_EQ(bufsNaive[0].load(i * H + j), in.load(j * W + i));
+}
+
+TEST(MachineTest, AssertAndAssume) {
+  auto c = compileSrc(R"(
+void k(int *a, int n) {
+  assume(n > 0);
+  assert(n >= 2);
+  a[0] = n;
+}
+)");
+  LaunchParams p;
+  p.scalarArgs = {1};
+  std::vector<Buffer> bufs = {Buffer("a", 1)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.assertFailures.size(), 1u);
+
+  // Failing assumption halts the thread before the assert.
+  p.scalarArgs = {0};
+  std::vector<Buffer> bufs2 = {Buffer("a", 1)};
+  auto r2 = launch(c.kernel, p, bufs2);
+  ASSERT_TRUE(r2.completed) << r2.error;
+  EXPECT_TRUE(r2.assumptionViolated);
+  EXPECT_TRUE(r2.assertFailures.empty());
+}
+
+TEST(MachineTest, OutOfBoundsIsAFatalError) {
+  auto c = compileSrc("void k(int *a) { a[tid.x + 100] = 1; }");
+  LaunchParams p;
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(MachineTest, InfiniteLoopExhaustsFuel) {
+  auto c = compileSrc("void k(int *a) { while (1 == 1) a[0] = 1; }");
+  LaunchParams p;
+  p.fuelPerThread = 1000;
+  std::vector<Buffer> bufs = {Buffer("a", 1)};
+  auto r = launch(c.kernel, p, bufs);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("step budget"), std::string::npos);
+}
+
+TEST(MachineTest, StrictBarrierDivergenceDetected) {
+  auto c = compileSrc(R"(
+void k(int *a) {
+  if (tid.x == 0) return;
+  __syncthreads();
+  a[tid.x] = 1;
+}
+)");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  p.strictBarrier = true;
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("divergence"), std::string::npos);
+}
+
+TEST(MonitorTest, WriteWriteRaceDetected) {
+  auto c = compileSrc("void k(int *a) { a[0] = tid.x; }");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  p.monitors.enabled = true;
+  std::vector<Buffer> bufs = {Buffer("a", 1)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  ASSERT_FALSE(r.races.empty());
+  EXPECT_TRUE(r.races[0].writeWrite);
+}
+
+TEST(MonitorTest, ReadWriteRaceDetected) {
+  auto c = compileSrc(R"(
+void k(int *a) {
+  __shared__ int s[bdim.x];
+  s[tid.x] = a[tid.x];
+  s[tid.x] = s[(tid.x + 1) % bdim.x];  // reads a neighbour's slot: race
+  a[tid.x] = s[tid.x];
+}
+)");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  p.monitors.enabled = true;
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_FALSE(r.races.empty());
+}
+
+TEST(MonitorTest, BarrierSeparatedAccessesDoNotRace) {
+  auto c = compileSrc(R"(
+void k(int *a) {
+  __shared__ int s[bdim.x];
+  s[tid.x] = a[tid.x];
+  __syncthreads();
+  a[tid.x] = s[(tid.x + 1) % bdim.x];  // fine: after the barrier
+}
+)");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  p.monitors.enabled = true;
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  for (uint64_t i = 0; i < 4; ++i) bufs[0].store(i, i * 10);
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_EQ(bufs[0].load(0), 10u);
+  EXPECT_EQ(bufs[0].load(3), 0u);
+}
+
+TEST(MonitorTest, BankConflictsInNaiveSharedColumnAccess) {
+  // Column-major access with a 16-wide tile: every thread of a half-warp
+  // hits the same bank. The padded (+1) variant avoids this — the exact
+  // optimization the paper's transpose example performs.
+  auto conflicted = compileSrc(R"(
+void k(int *a) {
+  __shared__ int t[16][16];
+  t[tid.x][tid.y] = tid.x;
+  a[tid.x * 16 + tid.y] = t[tid.x][tid.y];
+}
+)");
+  auto padded = compileSrc(R"(
+void k(int *a) {
+  __shared__ int t[16][17];
+  t[tid.x][tid.y] = tid.x;
+  a[tid.x * 16 + tid.y] = t[tid.x][tid.y];
+}
+)");
+  LaunchParams p;
+  p.block = {16, 16, 1};
+  p.monitors.enabled = true;
+  std::vector<Buffer> b1 = {Buffer("a", 256)};
+  std::vector<Buffer> b2 = {Buffer("a", 256)};
+  auto r1 = launch(conflicted.kernel, p, b1);
+  auto r2 = launch(padded.kernel, p, b2);
+  ASSERT_TRUE(r1.completed) << r1.error;
+  ASSERT_TRUE(r2.completed) << r2.error;
+  EXPECT_FALSE(r1.bankConflicts.empty());
+  EXPECT_TRUE(r2.bankConflicts.empty());
+}
+
+TEST(MonitorTest, NonCoalescedGlobalAccessDetected) {
+  // Strided global writes (the naive transpose pattern) are flagged;
+  // unit-stride writes are not.
+  auto strided = compileSrc("void k(int *a) { a[tid.x * 16] = tid.x; }");
+  auto unit = compileSrc("void k(int *a) { a[tid.x] = tid.x; }");
+  LaunchParams p;
+  p.block = {16, 1, 1};
+  p.monitors.enabled = true;
+  std::vector<Buffer> b1 = {Buffer("a", 256)};
+  std::vector<Buffer> b2 = {Buffer("a", 16)};
+  auto r1 = launch(strided.kernel, p, b1);
+  auto r2 = launch(unit.kernel, p, b2);
+  ASSERT_TRUE(r1.completed) << r1.error;
+  ASSERT_TRUE(r2.completed) << r2.error;
+  EXPECT_FALSE(r1.uncoalesced.empty());
+  EXPECT_TRUE(r2.uncoalesced.empty());
+}
+
+TEST(MachineTest, TwoDimensionalBlocks) {
+  auto c = compileSrc(
+      "void k(int *a) { a[tid.y * bdim.x + tid.x] = tid.y * 10 + tid.x; }");
+  LaunchParams p;
+  p.block = {3, 2, 1};
+  std::vector<Buffer> bufs = {Buffer("a", 6)};
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(bufs[0].load(5), 12u);
+}
+
+TEST(MachineTest, CompoundArrayAssignments) {
+  auto c = compileSrc(R"(
+void k(int *a) {
+  a[tid.x] += 5;
+  a[tid.x] *= 2;
+  a[tid.x] ^= 1;
+}
+)");
+  LaunchParams p;
+  p.block = {4, 1, 1};
+  std::vector<Buffer> bufs = {Buffer("a", 4)};
+  for (uint64_t i = 0; i < 4; ++i) bufs[0].store(i, i);
+  auto r = launch(c.kernel, p, bufs);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(bufs[0].load(i), ((i + 5) * 2) ^ 1);
+}
+
+}  // namespace
+}  // namespace pugpara::exec

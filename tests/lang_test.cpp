@@ -1,0 +1,330 @@
+// Front-end tests: lexer, parser, sema and the AST printer, exercised on
+// the paper's kernels among others.
+#include <gtest/gtest.h>
+
+#include "lang/ast_printer.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace pugpara::lang {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return toks;
+}
+
+TEST(LexerTest, OperatorsAndLiterals) {
+  auto toks = lex("a += 0x1F << 2 >= 10u ==> b != c--");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  std::vector<Tok> expected = {
+      Tok::Ident, Tok::PlusAssign, Tok::Number, Tok::Shl,   Tok::Number,
+      Tok::Ge,    Tok::Number,     Tok::Implies, Tok::Ident, Tok::NotEq,
+      Tok::Ident, Tok::MinusMinus, Tok::End};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ(toks[2].number, 0x1Fu);
+  EXPECT_EQ(toks[6].number, 10u);
+}
+
+TEST(LexerTest, CommentsAndLocations) {
+  auto toks = lex("x // line comment\n/* block\ncomment */ y");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[1].loc.line, 3u);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto toks = lex("__shared__ int if0 if float");
+  EXPECT_EQ(toks[0].kind, Tok::KwShared);
+  EXPECT_EQ(toks[1].kind, Tok::KwInt);
+  EXPECT_EQ(toks[2].kind, Tok::Ident);  // "if0" is an identifier
+  EXPECT_EQ(toks[3].kind, Tok::KwIf);
+  EXPECT_EQ(toks[4].kind, Tok::KwInt);  // float is read as int
+}
+
+TEST(LexerTest, ErrorOnBadCharacter) {
+  DiagnosticEngine diags;
+  Lexer lexer("a @ b", diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+// The naive transpose straight from the paper (Sec. II).
+constexpr const char* kNaiveTranspose = R"(
+__global__ void naiveTranspose(int *odata, int *idata, int width, int height) {
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = xIndex + width * yIndex;
+    int index_out = yIndex + height * xIndex;
+    odata[index_out] = idata[index_in];
+  }
+  int i, j;
+  postcond(i < width && j < height => odata[i * height + j] == idata[j * width + i]);
+}
+)";
+
+// The optimized transpose straight from the paper (Sec. II).
+constexpr const char* kOptTranspose = R"(
+__global__ void optimizedTranspose(int *odata, int *idata, int width, int height) {
+  __shared__ float block[bdim.x][bdim.x + 1];
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if ((xIndex < width) && (yIndex < height)) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if ((xIndex < height) && (yIndex < width)) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+}
+)";
+
+TEST(ParserTest, ParsesNaiveTranspose) {
+  auto prog = parseAndAnalyze(kNaiveTranspose);
+  ASSERT_EQ(prog->kernels.size(), 1u);
+  const Kernel& k = *prog->kernels[0];
+  EXPECT_EQ(k.name, "naiveTranspose");
+  ASSERT_EQ(k.params.size(), 4u);
+  EXPECT_TRUE(k.params[0]->type.isPointer);
+  EXPECT_EQ(k.params[0]->space, MemSpace::Global);
+  EXPECT_EQ(k.params[2]->space, MemSpace::Param);
+  EXPECT_FALSE(k.usesBarrier);
+  EXPECT_TRUE(k.sharedDecls.empty());
+}
+
+TEST(ParserTest, ParsesOptimizedTransposeWithSharedTile) {
+  auto prog = parseAndAnalyze(kOptTranspose);
+  const Kernel& k = *prog->kernels[0];
+  EXPECT_TRUE(k.usesBarrier);
+  ASSERT_EQ(k.sharedDecls.size(), 1u);
+  EXPECT_EQ(k.sharedDecls[0]->name, "block");
+  EXPECT_EQ(k.sharedDecls[0]->dims.size(), 2u);
+}
+
+TEST(ParserTest, ParsesReductionLoops) {
+  // Both reduction loops from Sec. IV-E.
+  auto prog = parseAndAnalyze(R"(
+__global__ void reduceMod(int *g_odata, int *g_idata) {
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    if ((tid.x % (2 * k)) == 0)
+      sdata[tid.x] += sdata[tid.x + k];
+    __syncthreads();
+  }
+  if (tid.x == 0) g_odata[bid.x] = sdata[0];
+}
+)");
+  const Kernel& k = *prog->kernels[0];
+  EXPECT_TRUE(k.usesBarrier);
+  EXPECT_EQ(k.sharedDecls.size(), 1u);
+}
+
+TEST(ParserTest, BuiltinSynonyms) {
+  auto prog = parseAndAnalyze(R"(
+void k(int *a) {
+  a[threadIdx.x + blockIdx.x * blockDim.x] = gridDim.x;
+}
+)");
+  EXPECT_EQ(prog->kernels.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto prog = parseAndAnalyze("void k(int *a, int x) { a[0] = 1 + 2 * x << 1; }");
+  const Stmt& blk = *prog->kernels[0]->body;
+  const Stmt& asg = *blk.stmts[0];
+  // ((1 + (2 * x)) << 1)
+  EXPECT_EQ(printExpr(*asg.rhs), "((1 + (2 * x)) << 1)");
+}
+
+TEST(ParserTest, TernaryAndImplies) {
+  auto prog = parseAndAnalyze(R"(
+void k(int *a, int x) {
+  int i;
+  a[0] = x > 0 ? x : 0 - x;
+  postcond(i == 0 => a[0] >= 0);
+}
+)");
+  EXPECT_EQ(prog->kernels.size(), 1u);
+}
+
+TEST(ParserTest, CompoundAssignsAndIncrement) {
+  auto prog = parseAndAnalyze(R"(
+void k(int *v) {
+  int i = 0;
+  i++;
+  i -= 3;
+  v[i] <<= 1;
+  v[i + 1] ^= 7;
+}
+)");
+  const auto& stmts = prog->kernels[0]->body->stmts;
+  ASSERT_EQ(stmts.size(), 5u);
+  EXPECT_TRUE(stmts[1]->isCompound);
+  EXPECT_EQ(stmts[1]->compoundOp, BinOp::Add);
+  EXPECT_EQ(stmts[3]->compoundOp, BinOp::Shl);
+}
+
+TEST(ParserTest, CStyleCastIsIgnored) {
+  auto prog = parseAndAnalyze(
+      "void k(int *a, int n) { a[0] = (int)n + (unsigned int)2; }");
+  EXPECT_EQ(prog->kernels.size(), 1u);
+}
+
+TEST(ParserTest, MultipleKernelsInOneUnit) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram(
+      "void a(int *x) { x[0] = 1; } void b(int *y) { y[0] = 2; }", diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  EXPECT_EQ(prog->kernels.size(), 2u);
+  EXPECT_NE(prog->findKernel("a"), nullptr);
+  EXPECT_NE(prog->findKernel("b"), nullptr);
+  EXPECT_EQ(prog->findKernel("c"), nullptr);
+}
+
+TEST(ParserErrorTest, ReportsMissingSemicolon) {
+  DiagnosticEngine diags;
+  (void)parseProgram("void k(int *a) { a[0] = 1 }", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(ParserErrorTest, ReportsBadBuiltin) {
+  DiagnosticEngine diags;
+  (void)parseProgram("void k(int *a) { a[0] = tid.w; }", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(ParserErrorTest, RejectsBidZ) {
+  DiagnosticEngine diags;
+  (void)parseProgram("void k(int *a) { a[0] = bid.z; }", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a) { a[0] = nothere; }", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, RedeclarationInSameScope) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a) { int i; int i; }", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, ShadowingInNestedScopeIsAllowed) {
+  DiagnosticEngine diags;
+  auto prog =
+      parseProgram("void k(int *a) { int i = 0; { int i = 1; a[i] = i; } }",
+                    diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+}
+
+TEST(SemaTest, IndexArityChecked) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram(R"(
+void k(int *a) {
+  __shared__ int t[bdim.x][bdim.y];
+  t[0] = a[0];
+}
+)", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, CannotAssignWholeArray) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a, int *b) { a = b; }", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, CannotIndexScalar) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a, int n) { n[0] = 1; }", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, SharedDimMustBeUniform) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram(R"(
+void k(int *a) {
+  __shared__ int t[tid.x];
+  t[0] = a[0];
+}
+)", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, SharedMustBeArray) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a) { __shared__ int s; s = 1; }",
+                           diags);
+  // The parser reports this one (shared scalars are rejected early).
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, UnknownFunctionRejected) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram("void k(int *a) { a[0] = foo(1); }", diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, MinMaxAbsAccepted) {
+  DiagnosticEngine diags;
+  auto prog = parseProgram(
+      "void k(int *a, int x) { a[0] = min(x, 3) + max(1, x) + abs(x); }",
+      diags);
+  analyze(*prog->kernels[0], diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+}
+
+TEST(PrinterTest, RoundTripThroughParser) {
+  // print(parse(src)) must itself parse to the same printed form (fixpoint).
+  auto prog1 = parseAndAnalyze(kOptTranspose);
+  std::string printed1 = printKernel(*prog1->kernels[0]);
+  auto prog2 = parseAndAnalyze(printed1);
+  std::string printed2 = printKernel(*prog2->kernels[0]);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST(PrinterTest, ForLoopRendering) {
+  auto prog = parseAndAnalyze(
+      "void k(int *a) { for (unsigned int i = 0; i < 4; i++) a[i] = i; }");
+  std::string p = printKernel(*prog->kernels[0]);
+  EXPECT_NE(p.find("for (unsigned int i = 0; (i < 4); i += 1)"),
+            std::string::npos)
+      << p;
+}
+
+TEST(CloneTest, DeepCloneIsStructurallyIdentical) {
+  auto prog = parseAndAnalyze(kOptTranspose);
+  const Kernel& k = *prog->kernels[0];
+  auto cloned = k.clone();
+  DiagnosticEngine diags;
+  analyze(*cloned, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  EXPECT_EQ(printKernel(k), printKernel(*cloned));
+}
+
+}  // namespace
+}  // namespace pugpara::lang

@@ -1,0 +1,335 @@
+// MiniSMT backend tests: the CDCL core, bit-blasting correctness against
+// the concrete evaluator, array lowering, Z3 cross-checks on random
+// formulas, and end-to-end PUGpara checks running on the from-scratch
+// solver.
+#include <gtest/gtest.h>
+
+#include "check/session.h"
+#include "expr/eval.h"
+#include "expr/subst.h"
+#include "kernels/corpus.h"
+#include "smt/mini/sat_solver.h"
+#include "smt/solver.h"
+#include "support/rng.h"
+
+namespace pugpara::smt {
+namespace {
+
+using expr::Context;
+using expr::Expr;
+using expr::Sort;
+
+// ---- CDCL core ----------------------------------------------------------------
+
+TEST(SatSolverTest, TrivialAndUnit) {
+  mini::SatSolver s;
+  mini::Var a = s.newVar(), b = s.newVar();
+  EXPECT_TRUE(s.addClause({mini::Lit(a, false)}));
+  EXPECT_TRUE(s.addClause({mini::Lit(a, true), mini::Lit(b, false)}));
+  ASSERT_EQ(s.solve(), mini::SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(SatSolverTest, DirectContradiction) {
+  mini::SatSolver s;
+  mini::Var a = s.newVar();
+  s.addClause({mini::Lit(a, false)});
+  s.addClause({mini::Lit(a, true)});
+  EXPECT_EQ(s.solve(), mini::SatResult::Unsat);
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes — classically
+/// hard UNSAT instances that force real conflict analysis.
+mini::SatResult pigeonhole(uint32_t holes) {
+  mini::SatSolver s;
+  const uint32_t pigeons = holes + 1;
+  std::vector<std::vector<mini::Var>> p(pigeons,
+                                        std::vector<mini::Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    std::vector<mini::Lit> clause;
+    for (uint32_t h = 0; h < holes; ++h)
+      clause.emplace_back(p[i][h], false);
+    s.addClause(std::move(clause));
+  }
+  for (uint32_t h = 0; h < holes; ++h)
+    for (uint32_t i = 0; i < pigeons; ++i)
+      for (uint32_t j = i + 1; j < pigeons; ++j)
+        s.addClause({mini::Lit(p[i][h], true), mini::Lit(p[j][h], true)});
+  return s.solve();
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  EXPECT_EQ(pigeonhole(5), mini::SatResult::Unsat);
+  EXPECT_EQ(pigeonhole(7), mini::SatResult::Unsat);
+}
+
+TEST(SatSolverTest, ConflictBudgetAborts) {
+  mini::SatSolver s;
+  // PHP(9, 8) is large enough to exceed a 10-conflict budget.
+  const uint32_t holes = 8, pigeons = 9;
+  std::vector<std::vector<mini::Var>> p(pigeons,
+                                        std::vector<mini::Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    std::vector<mini::Lit> clause;
+    for (uint32_t h = 0; h < holes; ++h)
+      clause.emplace_back(p[i][h], false);
+    s.addClause(std::move(clause));
+  }
+  for (uint32_t h = 0; h < holes; ++h)
+    for (uint32_t i = 0; i < pigeons; ++i)
+      for (uint32_t j = i + 1; j < pigeons; ++j)
+        s.addClause({mini::Lit(p[i][h], true), mini::Lit(p[j][h], true)});
+  s.setConflictBudget(10);
+  EXPECT_EQ(s.solve(), mini::SatResult::Aborted);
+}
+
+// ---- Shared backend conformance suite -------------------------------------------
+
+class BackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  [[nodiscard]] std::unique_ptr<Solver> solver() const {
+    return makeSolver(GetParam());
+  }
+};
+
+TEST_P(BackendTest, SatUnsatAndPushPop) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->push();
+  s->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+  s->pop();
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+}
+
+TEST_P(BackendTest, ModelSatisfiesAssertions) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(12));
+  Expr y = ctx.var("y", Sort::bv(12));
+  Expr c1 = ctx.mkEq(ctx.mkMul(x, y), ctx.bvVal(143, 12));  // 11 * 13
+  Expr c2 = ctx.mkUlt(ctx.bvVal(1, 12), x);
+  Expr c3 = ctx.mkUlt(x, y);
+  s->add(c1);
+  s->add(c2);
+  s->add(c3);
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  expr::Env env;
+  env.bindBv(x, m->evalBv(x));
+  env.bindBv(y, m->evalBv(y));
+  EXPECT_TRUE(expr::evalBool(c1, env));
+  EXPECT_TRUE(expr::evalBool(c2, env));
+  EXPECT_TRUE(expr::evalBool(c3, env));
+}
+
+TEST_P(BackendTest, SignedOperationsAgreeWithSemantics) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  // x / -2 == 3 (signed): x in {-6, -7}.
+  Expr minus2 = ctx.bvVal(0xFE, 8);
+  s->add(ctx.mkEq(ctx.mkSDiv(x, minus2), ctx.bvVal(3, 8)));
+  s->add(ctx.mkSlt(x, ctx.bvVal(0, 8)));
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  const uint64_t xv = m->evalBv(x);
+  EXPECT_TRUE(xv == 0xFA || xv == 0xF9) << xv;  // -6 or -7
+}
+
+TEST_P(BackendTest, DivisionByZeroConvention) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkEq(ctx.mkUDiv(x, ctx.var("z", Sort::bv(8))), ctx.bvVal(7, 8)));
+  s->add(ctx.mkEq(ctx.var("z", Sort::bv(8)), ctx.bvVal(0, 8)));
+  // x / 0 == all-ones != 7: unsat.
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST_P(BackendTest, ArraysReadOverWrite) {
+  Context ctx;
+  auto s = solver();
+  Sort arr = Sort::array(8, 8);
+  Expr a = ctx.var("a", arr);
+  Expr i = ctx.var("i", Sort::bv(8));
+  Expr j = ctx.var("j", Sort::bv(8));
+  Expr st = ctx.mkStore(a, i, ctx.bvVal(5, 8));
+  s->add(ctx.mkEq(i, j));
+  s->add(ctx.mkNe(ctx.mkSelect(st, j), ctx.bvVal(5, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST_P(BackendTest, ArrayFunctionalConsistency) {
+  Context ctx;
+  auto s = solver();
+  Sort arr = Sort::array(8, 8);
+  Expr a = ctx.var("a", arr);
+  Expr i = ctx.var("i", Sort::bv(8));
+  Expr j = ctx.var("j", Sort::bv(8));
+  // Same index, different values: must be unsat (Ackermann axioms).
+  s->add(ctx.mkEq(i, j));
+  s->add(ctx.mkEq(ctx.mkSelect(a, i), ctx.bvVal(1, 8)));
+  s->add(ctx.mkEq(ctx.mkSelect(a, j), ctx.bvVal(2, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST_P(BackendTest, ArrayModelReconstruction) {
+  Context ctx;
+  auto s = solver();
+  Sort arr = Sort::array(8, 8);
+  Expr a = ctx.var("a", arr);
+  s->add(ctx.mkEq(ctx.mkSelect(a, ctx.bvVal(3, 8)), ctx.bvVal(42, 8)));
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  EXPECT_EQ(m->evalBv(ctx.mkSelect(a, ctx.bvVal(3, 8))), 42u);
+}
+
+TEST_P(BackendTest, ShiftSemantics) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  Expr sh = ctx.var("sh", Sort::bv(8));
+  // Shift by >= width gives zero.
+  s->add(ctx.mkUle(ctx.bvVal(8, 8), sh));
+  s->add(ctx.mkNe(ctx.mkShl(x, sh), ctx.bvVal(0, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(Backend::Z3, Backend::Mini),
+                         [](const auto& info) {
+                           return info.param == Backend::Z3 ? "Z3" : "Mini";
+                         });
+
+// ---- Random cross-check against Z3 -----------------------------------------------
+
+class MiniVsZ3 : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiniVsZ3, RandomFormulasAgree) {
+  SplitMix64 rng(GetParam() * 7919 + 13);
+  Context ctx;
+  const uint32_t width = 4 + static_cast<uint32_t>(rng.below(10));
+  Sort bv = Sort::bv(width);
+  std::vector<Expr> pool = {ctx.var("x", bv), ctx.var("y", bv),
+                            ctx.var("z", bv), ctx.bvVal(rng.next(), width),
+                            ctx.bvVal(rng.below(5), width)};
+  using K = expr::Kind;
+  const K ops[] = {K::BvAdd, K::BvSub, K::BvMul,  K::BvAnd, K::BvOr,
+                   K::BvXor, K::BvShl, K::BvLShr, K::BvAShr, K::BvUDiv,
+                   K::BvURem, K::BvSDiv, K::BvSRem};
+  for (int i = 0; i < 14; ++i) {
+    Expr a = pool[rng.below(pool.size())];
+    Expr b = pool[rng.below(pool.size())];
+    pool.push_back(ctx.mkBvBin(ops[rng.below(std::size(ops))], a, b));
+  }
+  // Build 2-3 boolean constraints over the pool.
+  std::vector<Expr> constraints;
+  for (int i = 0; i < 3; ++i) {
+    Expr a = pool[rng.below(pool.size())];
+    Expr b = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: constraints.push_back(ctx.mkEq(a, b)); break;
+      case 1: constraints.push_back(ctx.mkUlt(a, b)); break;
+      case 2: constraints.push_back(ctx.mkSlt(a, b)); break;
+      default: constraints.push_back(ctx.mkNe(a, b)); break;
+    }
+  }
+
+  auto z3 = makeZ3Solver();
+  auto mini = makeMiniSolver();
+  mini->setTimeoutMs(30000);
+  for (Expr c : constraints) {
+    z3->add(c);
+    mini->add(c);
+  }
+  CheckResult rz = z3->check();
+  CheckResult rm = mini->check();
+  ASSERT_NE(rm, CheckResult::Unknown) << "seed " << GetParam();
+  EXPECT_EQ(rz, rm) << "seed " << GetParam() << " width " << width;
+
+  if (rm == CheckResult::Sat) {
+    // The MiniSMT model must satisfy every constraint concretely.
+    auto m = mini->model();
+    expr::Env env;
+    for (const char* name : {"x", "y", "z"}) {
+      Expr v = ctx.var(name, bv);
+      env.bindBv(v, m->evalBv(v));
+    }
+    for (Expr c : constraints)
+      EXPECT_TRUE(expr::evalBool(c, env)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniVsZ3, ::testing::Range<uint64_t>(0, 40));
+
+// ---- End-to-end: PUGpara on the from-scratch backend ------------------------------
+
+TEST(MiniEndToEndTest, ParamPostcondOnMiniBackend) {
+  // A single-axis kernel: the monotone QE of Sec. IV-D discharges the frame
+  // without quantifiers, which is exactly what the from-scratch backend can
+  // digest. (Multi-axis kernels like vecAdd need the native-forall frames
+  // and correctly yield Unknown on MiniSMT — see the next test.)
+  const char* src = R"(
+void fill(int *a) {
+  assume(gdim.x == 1 && gdim.y == 1 && bdim.y == 1 && bdim.z == 1);
+  a[tid.x] = tid.x + 1;
+  int i;
+  postcond(i < bdim.x => a[i] == i + 1);
+}
+)";
+  check::VerificationSession s(src);
+  check::CheckOptions o;
+  o.method = check::Method::Parameterized;
+  o.width = 8;
+  o.backend = Backend::Mini;
+  o.solverTimeoutMs = 120000;
+  check::Report r = s.postconditions("fill", o);
+  EXPECT_EQ(r.outcome, check::Outcome::Verified) << r.str();
+  EXPECT_GT(r.stats.qeCerts, 0u);
+}
+
+TEST(MiniEndToEndTest, QuantifiedFramesAreRejectedByMini) {
+  // vecAdd's writes span two thread axes, so the frame premise keeps its
+  // quantifier; MiniSMT must answer Unknown — the paper's "existing SMT
+  // solvers often fail to handle quantified formulas".
+  check::VerificationSession s(kernels::combinedSource({"vecAdd"}, 8));
+  check::CheckOptions o;
+  o.method = check::Method::Parameterized;
+  o.width = 8;
+  o.backend = Backend::Mini;
+  check::Report r = s.postconditions("vecAdd", o);
+  EXPECT_EQ(r.outcome, check::Outcome::Unknown) << r.str();
+}
+
+TEST(MiniEndToEndTest, BugFoundAndReplayedOnMiniBackend) {
+  const char* broken = R"(
+void k(int *a) {
+  assume(gdim.x == 1 && gdim.y == 1 && bdim.y == 1 && bdim.z == 1);
+  a[tid.x] = tid.x + 2;
+  int i;
+  postcond(i < bdim.x => a[i] == i + 1);
+}
+)";
+  check::VerificationSession s(broken);
+  check::CheckOptions o;
+  o.method = check::Method::Parameterized;
+  o.width = 8;
+  o.backend = Backend::Mini;
+  o.solverTimeoutMs = 120000;
+  check::Report r = s.postconditions("k", o);
+  EXPECT_EQ(r.outcome, check::Outcome::BugFound) << r.str();
+  ASSERT_FALSE(r.counterexamples.empty());
+  EXPECT_TRUE(r.counterexamples[0].replayConfirmed) << r.str();
+}
+
+}  // namespace
+}  // namespace pugpara::smt

@@ -1,0 +1,143 @@
+// Solver-backend tests. These run against Z3 always; once MiniSMT lands the
+// shared suite below also runs against it (see SolverParamTest).
+#include <gtest/gtest.h>
+
+#include "expr/context.h"
+#include "expr/eval.h"
+#include "smt/solver.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::smt {
+namespace {
+
+using expr::Context;
+using expr::Expr;
+using expr::Sort;
+
+TEST(Z3SolverTest, TrivialSatUnsat) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST(Z3SolverTest, PushPopRestoresAssertions) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkEq(x, ctx.bvVal(3, 8)));
+  s->push();
+  s->add(ctx.mkEq(x, ctx.bvVal(4, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+  s->pop();
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+}
+
+TEST(Z3SolverTest, ModelValuesSatisfyAssertions) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  Expr x = ctx.var("x", Sort::bv(16));
+  Expr y = ctx.var("y", Sort::bv(16));
+  Expr c1 = ctx.mkEq(ctx.mkAdd(x, y), ctx.bvVal(100, 16));
+  Expr c2 = ctx.mkUlt(x, y);
+  s->add(c1);
+  s->add(c2);
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  const uint64_t xv = m->evalBv(x), yv = m->evalBv(y);
+  // Replay the model through our own evaluator: both constraints must hold.
+  expr::Env env;
+  env.bindBv(x, xv);
+  env.bindBv(y, yv);
+  EXPECT_TRUE(expr::evalBool(c1, env));
+  EXPECT_TRUE(expr::evalBool(c2, env));
+}
+
+TEST(Z3SolverTest, ArrayTheory) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  Sort arr = Sort::array(16, 16);
+  Expr a = ctx.var("a", arr);
+  Expr i = ctx.var("i", Sort::bv(16));
+  Expr j = ctx.var("j", Sort::bv(16));
+  // select(store(a, i, 5), j) == 5 with i != j and select(a, j) != 5: UNSAT
+  // only if i == j forced; here it is SAT since j may differ... instead
+  // assert the classic read-over-write axiom violation:
+  Expr st = ctx.mkStore(a, i, ctx.bvVal(5, 16));
+  s->add(ctx.mkEq(i, j));
+  s->add(ctx.mkNe(ctx.mkSelect(st, j), ctx.bvVal(5, 16)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST(Z3SolverTest, ArrayModelEvaluation) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  Sort arr = Sort::array(16, 16);
+  Expr a = ctx.var("a", arr);
+  s->add(ctx.mkEq(ctx.mkSelect(a, ctx.bvVal(3, 16)), ctx.bvVal(42, 16)));
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  EXPECT_EQ(m->evalBv(ctx.mkSelect(a, ctx.bvVal(3, 16))), 42u);
+}
+
+TEST(Z3SolverTest, NonLinearBitvectorArithmetic) {
+  // The paper stresses that CUDA addresses are non-linear (tid * width);
+  // the bit-vector theory must decide these (unlike the Omega test).
+  Context ctx;
+  auto s = makeZ3Solver();
+  Expr x = ctx.var("x", Sort::bv(16));
+  Expr y = ctx.var("y", Sort::bv(16));
+  s->add(ctx.mkEq(ctx.mkMul(x, y), ctx.bvVal(12, 16)));
+  s->add(ctx.mkUlt(ctx.bvVal(1, 16), x));
+  s->add(ctx.mkUlt(ctx.bvVal(1, 16), y));
+  s->add(ctx.mkUlt(x, ctx.bvVal(12, 16)));
+  s->add(ctx.mkUlt(y, ctx.bvVal(12, 16)));
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  EXPECT_EQ((m->evalBv(x) * m->evalBv(y)) & 0xffff, 12u);
+}
+
+TEST(Z3SolverTest, QuantifiedFrameAxiom) {
+  // The exact shape of Sec. IV-A's frame formula:
+  //   (forall t. not(a = f(t) and c(t))) => odata[k] unchanged.
+  Context ctx;
+  auto s = makeZ3Solver();
+  Expr t = ctx.var("t", Sort::bv(8));
+  Expr a = ctx.var("a", Sort::bv(8));
+  // f(t) = 2*t, c(t) = t < 4. A claim: a = 1 cannot be written (it's odd).
+  Expr f = ctx.mkMul(ctx.bvVal(2, 8), t);
+  Expr c = ctx.mkUlt(t, ctx.bvVal(4, 8));
+  std::vector<Expr> bound = {t};
+  Expr noWriter = ctx.mkForall(bound, ctx.mkNot(ctx.mkAnd(ctx.mkEq(a, f), c)));
+  s->add(ctx.mkEq(a, ctx.bvVal(1, 8)));
+  s->add(ctx.mkNot(noWriter));  // claim: some thread writes address 1
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+}
+
+TEST(Z3SolverTest, TimeoutReturnsUnknownOrAnswer) {
+  Context ctx;
+  auto s = makeZ3Solver();
+  s->setTimeoutMs(1);
+  // A hard non-linear instance; with a 1ms budget Z3 usually gives Unknown,
+  // but a fast answer is also acceptable — we only require no hang/crash.
+  Expr x = ctx.var("x", Sort::bv(64));
+  Expr y = ctx.var("y", Sort::bv(64));
+  Expr z = ctx.var("z", Sort::bv(64));
+  s->add(ctx.mkEq(ctx.mkMul(ctx.mkMul(x, y), z), ctx.bvVal(0xdeadbeefcafeULL, 64)));
+  s->add(ctx.mkUlt(ctx.bvVal(1000000, 64), x));
+  s->add(ctx.mkUlt(ctx.bvVal(1000000, 64), y));
+  s->add(ctx.mkUlt(ctx.bvVal(1000000, 64), z));
+  CheckResult r = s->check();
+  SUCCEED() << "result: " << toString(r);
+}
+
+TEST(SolverFactoryTest, BothBackendsConstruct) {
+  EXPECT_EQ(makeSolver(Backend::Z3)->name(), "z3");
+  EXPECT_EQ(makeSolver(Backend::Mini)->name(), "minismt");
+}
+
+}  // namespace
+}  // namespace pugpara::smt

@@ -1,0 +1,182 @@
+// pugpara — command-line driver for the PUGpara checkers.
+//
+//   pugpara FILE [--list] [--dump AST]
+//   pugpara FILE --postcond K | --asserts K | --races K | --perf K
+//   pugpara FILE --equiv A B
+//   common flags: --method param|bughunt|nonparam|auto   (default: param)
+//                 --width N                              (default: 16)
+//                 --backend z3|mini                      (default: z3)
+//                 --grid GX,GY,BX,BY,BZ   (enables the nonparam method)
+//                 --concretize name=value (repeatable; "+C" knob)
+//                 --timeout MS            (default: 60000)
+//                 --no-replay
+//
+// Exit code: 0 verified / no bug found, 1 bug found, 2 unknown, 3 usage or
+// front-end error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "check/session.h"
+#include "lang/ast_printer.h"
+
+namespace {
+
+using namespace pugpara;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: pugpara FILE [--list|--dump] "
+               "[--postcond K|--asserts K|--races K|--perf K|--equiv A B]\n"
+               "       [--method param|bughunt|nonparam|auto] [--width N]\n"
+               "       [--backend z3|mini] [--grid GX,GY,BX,BY,BZ]\n"
+               "       [--concretize name=value]... [--timeout MS] "
+               "[--no-replay]\n");
+}
+
+int outcomeCode(const check::Report& r) {
+  std::printf("%s\n", r.str().c_str());
+  switch (r.outcome) {
+    case check::Outcome::Verified:
+    case check::Outcome::NoBugFound:
+      return 0;
+    case check::Outcome::BugFound:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 3;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "pugpara: cannot open '%s'\n", argv[1]);
+    return 3;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  check::CheckOptions opts;
+  opts.method = check::Method::Parameterized;
+  opts.solverTimeoutMs = 60000;
+
+  enum class Action { Summary, List, Dump, Postcond, Asserts, Races, Perf,
+                      Equiv };
+  Action action = Action::Summary;
+  std::string k1, k2;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pugpara: %s expects an argument\n", what);
+        std::exit(3);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") action = Action::List;
+    else if (arg == "--dump") action = Action::Dump;
+    else if (arg == "--postcond") { action = Action::Postcond; k1 = next("--postcond"); }
+    else if (arg == "--asserts") { action = Action::Asserts; k1 = next("--asserts"); }
+    else if (arg == "--races") { action = Action::Races; k1 = next("--races"); }
+    else if (arg == "--perf") { action = Action::Perf; k1 = next("--perf"); }
+    else if (arg == "--equiv") {
+      action = Action::Equiv;
+      k1 = next("--equiv");
+      k2 = next("--equiv");
+    } else if (arg == "--method") {
+      const std::string m = next("--method");
+      if (m == "param") opts.method = check::Method::Parameterized;
+      else if (m == "bughunt") opts.method = check::Method::ParameterizedBugHunt;
+      else if (m == "nonparam") opts.method = check::Method::NonParameterized;
+      else if (m == "auto") opts.method = check::Method::Auto;
+      else { usage(); return 3; }
+    } else if (arg == "--width") {
+      opts.width = static_cast<uint32_t>(std::stoul(next("--width")));
+    } else if (arg == "--backend") {
+      const std::string b = next("--backend");
+      if (b == "z3") opts.backend = smt::Backend::Z3;
+      else if (b == "mini") opts.backend = smt::Backend::Mini;
+      else { usage(); return 3; }
+    } else if (arg == "--grid") {
+      const std::string g = next("--grid");
+      encode::GridConfig grid;
+      if (std::sscanf(g.c_str(), "%u,%u,%u,%u,%u", &grid.gdimX, &grid.gdimY,
+                      &grid.bdimX, &grid.bdimY, &grid.bdimZ) != 5) {
+        std::fprintf(stderr, "pugpara: --grid expects GX,GY,BX,BY,BZ\n");
+        return 3;
+      }
+      opts.grid = grid;
+    } else if (arg == "--concretize") {
+      const std::string kv = next("--concretize");
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "pugpara: --concretize expects name=value\n");
+        return 3;
+      }
+      opts.concretize[kv.substr(0, eq)] = std::stoull(kv.substr(eq + 1));
+    } else if (arg == "--timeout") {
+      opts.solverTimeoutMs =
+          static_cast<uint32_t>(std::stoul(next("--timeout")));
+    } else if (arg == "--no-replay") {
+      opts.replayCounterexamples = false;
+    } else {
+      std::fprintf(stderr, "pugpara: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 3;
+    }
+  }
+
+  try {
+    check::VerificationSession session(buffer.str());
+
+    switch (action) {
+      case Action::List:
+        for (const auto& k : session.program().kernels)
+          std::printf("%s  (%zu params%s)\n", k->name.c_str(),
+                      k->params.size(),
+                      k->usesBarrier ? ", uses barriers" : "");
+        return 0;
+      case Action::Dump:
+        for (const auto& k : session.program().kernels)
+          std::printf("%s\n", lang::printKernel(*k).c_str());
+        return 0;
+      case Action::Postcond:
+        return outcomeCode(session.postconditions(k1, opts));
+      case Action::Asserts:
+        return outcomeCode(session.asserts(k1, opts));
+      case Action::Races:
+        return outcomeCode(session.races(k1, opts));
+      case Action::Perf:
+        return outcomeCode(session.performance(k1, opts));
+      case Action::Equiv:
+        return outcomeCode(session.equivalence(k1, k2, opts));
+      case Action::Summary: {
+        // Default: postconditions + asserts + races for every kernel.
+        int worst = 0;
+        for (const auto& k : session.program().kernels) {
+          std::printf("== %s ==\n", k->name.c_str());
+          std::printf("  races:    ");
+          worst = std::max(worst, outcomeCode(session.races(k->name, opts)));
+          std::printf("  asserts:  ");
+          worst = std::max(worst, outcomeCode(session.asserts(k->name, opts)));
+          std::printf("  postcond: ");
+          worst = std::max(worst,
+                           outcomeCode(session.postconditions(k->name, opts)));
+        }
+        return worst;
+      }
+    }
+  } catch (const PugError& e) {
+    std::fprintf(stderr, "pugpara: %s\n", e.what());
+    return 3;
+  }
+  return 3;
+}
