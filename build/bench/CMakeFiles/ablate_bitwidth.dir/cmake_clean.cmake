@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bitwidth.dir/ablate_bitwidth.cpp.o"
+  "CMakeFiles/ablate_bitwidth.dir/ablate_bitwidth.cpp.o.d"
+  "ablate_bitwidth"
+  "ablate_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_encoding.dir/ablate_encoding.cpp.o"
+  "CMakeFiles/ablate_encoding.dir/ablate_encoding.cpp.o.d"
+  "ablate_encoding"
+  "ablate_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_thread_scaling.dir/ablate_thread_scaling.cpp.o"
+  "CMakeFiles/ablate_thread_scaling.dir/ablate_thread_scaling.cpp.o.d"
+  "ablate_thread_scaling"
+  "ablate_thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_equiv_bugfree.dir/table2_equiv_bugfree.cpp.o"
+  "CMakeFiles/table2_equiv_bugfree.dir/table2_equiv_bugfree.cpp.o.d"
+  "table2_equiv_bugfree"
+  "table2_equiv_bugfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_equiv_bugfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_equiv_buggy.dir/table3_equiv_buggy.cpp.o"
+  "CMakeFiles/table3_equiv_buggy.dir/table3_equiv_buggy.cpp.o.d"
+  "table3_equiv_buggy"
+  "table3_equiv_buggy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_equiv_buggy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

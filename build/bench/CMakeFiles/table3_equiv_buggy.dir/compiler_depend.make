@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_equiv_buggy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bughunt_reduction.dir/bughunt_reduction.cpp.o"
+  "CMakeFiles/bughunt_reduction.dir/bughunt_reduction.cpp.o.d"
+  "bughunt_reduction"
+  "bughunt_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bughunt_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_transpose.dir/equivalence_transpose.cpp.o"
+  "CMakeFiles/equivalence_transpose.dir/equivalence_transpose.cpp.o.d"
+  "equivalence_transpose"
+  "equivalence_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

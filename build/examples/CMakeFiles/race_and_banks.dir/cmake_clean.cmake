@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_and_banks.dir/race_and_banks.cpp.o"
+  "CMakeFiles/race_and_banks.dir/race_and_banks.cpp.o.d"
+  "race_and_banks"
+  "race_and_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_and_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

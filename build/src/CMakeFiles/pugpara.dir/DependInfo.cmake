@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/equiv_checker.cpp" "src/CMakeFiles/pugpara.dir/check/equiv_checker.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/equiv_checker.cpp.o.d"
+  "/root/repo/src/check/options.cpp" "src/CMakeFiles/pugpara.dir/check/options.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/options.cpp.o.d"
+  "/root/repo/src/check/perf_checker.cpp" "src/CMakeFiles/pugpara.dir/check/perf_checker.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/perf_checker.cpp.o.d"
+  "/root/repo/src/check/postcond_checker.cpp" "src/CMakeFiles/pugpara.dir/check/postcond_checker.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/postcond_checker.cpp.o.d"
+  "/root/repo/src/check/race_checker.cpp" "src/CMakeFiles/pugpara.dir/check/race_checker.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/race_checker.cpp.o.d"
+  "/root/repo/src/check/replay.cpp" "src/CMakeFiles/pugpara.dir/check/replay.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/replay.cpp.o.d"
+  "/root/repo/src/check/report.cpp" "src/CMakeFiles/pugpara.dir/check/report.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/check/report.cpp.o.d"
+  "/root/repo/src/encode/equivalence.cpp" "src/CMakeFiles/pugpara.dir/encode/equivalence.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/encode/equivalence.cpp.o.d"
+  "/root/repo/src/encode/ssa_encoder.cpp" "src/CMakeFiles/pugpara.dir/encode/ssa_encoder.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/encode/ssa_encoder.cpp.o.d"
+  "/root/repo/src/encode/symbolic_env.cpp" "src/CMakeFiles/pugpara.dir/encode/symbolic_env.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/encode/symbolic_env.cpp.o.d"
+  "/root/repo/src/exec/bytecode.cpp" "src/CMakeFiles/pugpara.dir/exec/bytecode.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/exec/bytecode.cpp.o.d"
+  "/root/repo/src/exec/compiler.cpp" "src/CMakeFiles/pugpara.dir/exec/compiler.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/exec/compiler.cpp.o.d"
+  "/root/repo/src/exec/machine.cpp" "src/CMakeFiles/pugpara.dir/exec/machine.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/exec/machine.cpp.o.d"
+  "/root/repo/src/exec/monitors.cpp" "src/CMakeFiles/pugpara.dir/exec/monitors.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/exec/monitors.cpp.o.d"
+  "/root/repo/src/expr/context.cpp" "src/CMakeFiles/pugpara.dir/expr/context.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/context.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/CMakeFiles/pugpara.dir/expr/eval.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/eval.cpp.o.d"
+  "/root/repo/src/expr/print.cpp" "src/CMakeFiles/pugpara.dir/expr/print.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/print.cpp.o.d"
+  "/root/repo/src/expr/simplify.cpp" "src/CMakeFiles/pugpara.dir/expr/simplify.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/simplify.cpp.o.d"
+  "/root/repo/src/expr/sort.cpp" "src/CMakeFiles/pugpara.dir/expr/sort.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/sort.cpp.o.d"
+  "/root/repo/src/expr/subst.cpp" "src/CMakeFiles/pugpara.dir/expr/subst.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/subst.cpp.o.d"
+  "/root/repo/src/expr/walk.cpp" "src/CMakeFiles/pugpara.dir/expr/walk.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/expr/walk.cpp.o.d"
+  "/root/repo/src/kernels/corpus.cpp" "src/CMakeFiles/pugpara.dir/kernels/corpus.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/kernels/corpus.cpp.o.d"
+  "/root/repo/src/kernels/mutate.cpp" "src/CMakeFiles/pugpara.dir/kernels/mutate.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/kernels/mutate.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/pugpara.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/ast_printer.cpp" "src/CMakeFiles/pugpara.dir/lang/ast_printer.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/ast_printer.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/pugpara.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/pugpara.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/CMakeFiles/pugpara.dir/lang/sema.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/sema.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/pugpara.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/lang/token.cpp.o.d"
+  "/root/repo/src/para/ca_extract.cpp" "src/CMakeFiles/pugpara.dir/para/ca_extract.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/ca_extract.cpp.o.d"
+  "/root/repo/src/para/loops.cpp" "src/CMakeFiles/pugpara.dir/para/loops.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/loops.cpp.o.d"
+  "/root/repo/src/para/monotone.cpp" "src/CMakeFiles/pugpara.dir/para/monotone.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/monotone.cpp.o.d"
+  "/root/repo/src/para/resolve.cpp" "src/CMakeFiles/pugpara.dir/para/resolve.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/resolve.cpp.o.d"
+  "/root/repo/src/para/thread_dim.cpp" "src/CMakeFiles/pugpara.dir/para/thread_dim.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/thread_dim.cpp.o.d"
+  "/root/repo/src/para/vcgen.cpp" "src/CMakeFiles/pugpara.dir/para/vcgen.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/para/vcgen.cpp.o.d"
+  "/root/repo/src/smt/mini/array_lower.cpp" "src/CMakeFiles/pugpara.dir/smt/mini/array_lower.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/mini/array_lower.cpp.o.d"
+  "/root/repo/src/smt/mini/bitblast.cpp" "src/CMakeFiles/pugpara.dir/smt/mini/bitblast.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/mini/bitblast.cpp.o.d"
+  "/root/repo/src/smt/mini/mini_solver.cpp" "src/CMakeFiles/pugpara.dir/smt/mini/mini_solver.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/mini/mini_solver.cpp.o.d"
+  "/root/repo/src/smt/mini/preprocess.cpp" "src/CMakeFiles/pugpara.dir/smt/mini/preprocess.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/mini/preprocess.cpp.o.d"
+  "/root/repo/src/smt/mini/sat_solver.cpp" "src/CMakeFiles/pugpara.dir/smt/mini/sat_solver.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/mini/sat_solver.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/CMakeFiles/pugpara.dir/smt/solver.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/solver.cpp.o.d"
+  "/root/repo/src/smt/z3_solver.cpp" "src/CMakeFiles/pugpara.dir/smt/z3_solver.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/smt/z3_solver.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/pugpara.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/pugpara.dir/support/diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

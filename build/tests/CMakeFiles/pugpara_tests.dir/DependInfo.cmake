@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/check_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/check_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/check_test.cpp.o.d"
+  "/root/repo/tests/encode_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/encode_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/encode_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/expr_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/expr_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/expr_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/lang_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/lang_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/lang_test.cpp.o.d"
+  "/root/repo/tests/minismt_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/minismt_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/minismt_test.cpp.o.d"
+  "/root/repo/tests/para_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/para_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/para_test.cpp.o.d"
+  "/root/repo/tests/print_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/print_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/print_test.cpp.o.d"
+  "/root/repo/tests/smt_test.cpp" "tests/CMakeFiles/pugpara_tests.dir/smt_test.cpp.o" "gcc" "tests/CMakeFiles/pugpara_tests.dir/smt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pugpara.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

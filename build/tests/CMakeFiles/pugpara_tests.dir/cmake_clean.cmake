@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pugpara_tests.dir/check_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/check_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/encode_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/encode_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/exec_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/exec_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/expr_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/expr_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/kernels_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/kernels_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/lang_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/lang_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/minismt_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/minismt_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/para_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/para_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/print_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/print_test.cpp.o.d"
+  "CMakeFiles/pugpara_tests.dir/smt_test.cpp.o"
+  "CMakeFiles/pugpara_tests.dir/smt_test.cpp.o.d"
+  "pugpara_tests"
+  "pugpara_tests.pdb"
+  "pugpara_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pugpara_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

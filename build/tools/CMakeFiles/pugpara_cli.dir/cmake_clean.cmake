@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pugpara_cli.dir/pugpara_cli.cpp.o"
+  "CMakeFiles/pugpara_cli.dir/pugpara_cli.cpp.o.d"
+  "pugpara"
+  "pugpara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pugpara_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
