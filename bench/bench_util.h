@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "check/session.h"
+#include "engine/engine.h"
 #include "kernels/corpus.h"
 
 namespace pugpara::bench {
@@ -19,6 +21,27 @@ inline uint32_t timeoutMs() {
   if (const char* env = std::getenv("PUGPARA_TIMEOUT_MS"))
     return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
   return 20000;
+}
+
+/// Worker threads for regenerating a table (PUGPARA_JOBS; default: one per
+/// hardware thread). The engine guarantees outcomes identical to jobs=1 —
+/// only the wall-clock changes — so the tables parallelize freely. The
+/// *measured* per-cell solve times do gain scheduling noise under load;
+/// set PUGPARA_JOBS=1 for paper-grade timing columns.
+inline unsigned benchJobs() {
+  if (const char* env = std::getenv("PUGPARA_JOBS"))
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Engine configuration every table bench runs its batch with
+/// (PUGPARA_JOBS / PUGPARA_PORTFOLIO).
+inline engine::EngineOptions benchEngineOptions() {
+  engine::EngineOptions eo;
+  eo.jobs = benchJobs();
+  if (const char* env = std::getenv("PUGPARA_PORTFOLIO"))
+    eo.portfolio = env[0] != '\0' && env[0] != '0';
+  return eo;
 }
 
 /// Formats one result cell the way the paper's tables do:

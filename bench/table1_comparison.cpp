@@ -10,6 +10,9 @@
 //
 // Each methodology is run against the same bug zoo; the matrix shows which
 // bugs each finds and whether the verdict covers all configurations.
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
 #include "exec/compiler.h"
 #include "exec/machine.h"
@@ -89,69 +92,91 @@ int main() {
 
   const uint32_t kTo = timeoutMs();
 
-  // Row 1: data race (racyHistogram).
+  // The six symbolic checks (PUGpara + fixed-thread columns of each row)
+  // run as one engine batch; the dynamic column is a concrete VM run and
+  // stays inline.
+  std::vector<std::unique_ptr<check::VerificationSession>> sessions;
+  std::vector<engine::BoundCheck> checks;
+  auto bind = [&](const std::string& source, check::CheckKind kind,
+                  const std::string& k1, const std::string& k2,
+                  const check::CheckOptions& o) {
+    sessions.push_back(std::make_unique<check::VerificationSession>(source));
+    checks.push_back({sessions.back().get(), {kind, k1, k2, o, {}, 0}});
+  };
+
+  // Row 1: data race (racyHistogram), parameterized then fixed-thread.
   {
-    check::VerificationSession s(
-        kernels::combinedSource({"racyHistogram"}, 8));
+    const std::string src = kernels::combinedSource({"racyHistogram"}, 8);
     check::CheckOptions para;
     para.method = check::Method::Parameterized;
     para.width = 8;
     para.solverTimeoutMs = kTo;
-    Verdict vPara = fromReport(s.races("racyHistogram", para));
+    bind(src, check::CheckKind::Races, "racyHistogram", "", para);
     // Fixed-thread symbolic race check = the same query on one config.
     check::CheckOptions fixedOpt = para;
     fixedOpt.concretize = {{"bdim.x", 8},  {"bdim.y", 1}, {"bdim.z", 1},
                            {"gdim.x", 1},  {"gdim.y", 1}};
-    Verdict vFixed = fromReport(s.races("racyHistogram", fixedOpt));
-    Verdict vDyn = dynamicRun("racyHistogram", 8, true, false);
-    std::printf("  %-32s %-10s %-12s %-12s\n", "data race (racyHistogram)",
-                mark(vPara).c_str(), mark(vFixed).c_str(),
-                mark(vDyn).c_str());
+    bind(src, check::CheckKind::Races, "racyHistogram", "", fixedOpt);
   }
 
   // Row 2: performance bug (transposeNaive, uncoalesced).
   {
-    check::VerificationSession s(
-        kernels::combinedSource({"transposeNaive"}, 8));
+    const std::string src = kernels::combinedSource({"transposeNaive"}, 8);
     check::CheckOptions para;
     para.method = check::Method::Parameterized;
     para.width = 8;
     para.solverTimeoutMs = kTo;
-    Verdict vPara = fromReport(s.performance("transposeNaive", para));
+    bind(src, check::CheckKind::Performance, "transposeNaive", "", para);
     check::CheckOptions fixedOpt = para;
     fixedOpt.concretize = {{"bdim.x", 2}, {"bdim.y", 2}, {"bdim.z", 1},
                            {"gdim.x", 2}, {"gdim.y", 2}};
-    Verdict vFixed = fromReport(s.performance("transposeNaive", fixedOpt));
-    Verdict vDyn = dynamicRun("transposeNaive", 8, false, true);
-    std::printf("  %-32s %-10s %-12s %-12s\n",
-                "non-coalesced (transposeNaive)", mark(vPara).c_str(),
-                mark(vFixed).c_str(), mark(vDyn).c_str());
+    bind(src, check::CheckKind::Performance, "transposeNaive", "", fixedOpt);
   }
 
   // Row 3: functional equivalence bug (non-square transpose) — only the
   // symbolic methods can even pose the question; the dynamic row needs the
   // lucky configuration AND input.
   {
-    check::VerificationSession s(kernels::combinedSource(
-        {"transposeNaive", "transposeOptNoSquare"}, 8));
+    const std::string src = kernels::combinedSource(
+        {"transposeNaive", "transposeOptNoSquare"}, 8);
     check::CheckOptions para;
     para.method = check::Method::ParameterizedBugHunt;
     para.width = 8;
     para.solverTimeoutMs = kTo;
-    Verdict vPara = fromReport(
-        s.equivalence("transposeNaive", "transposeOptNoSquare", para));
+    bind(src, check::CheckKind::Equivalence, "transposeNaive",
+         "transposeOptNoSquare", para);
     check::CheckOptions np;
     np.method = check::Method::NonParameterized;
     np.width = 8;
     np.solverTimeoutMs = kTo;
     np.grid = encode::GridConfig{1, 2, 4, 2, 1};  // happens to be non-square
-    Verdict vFixed = fromReport(
-        s.equivalence("transposeNaive", "transposeOptNoSquare", np));
+    bind(src, check::CheckKind::Equivalence, "transposeNaive",
+         "transposeOptNoSquare", np);
+  }
+
+  engine::VerificationEngine eng(benchEngineOptions());
+  const std::vector<check::CheckResult> r = eng.runAll(checks);
+
+  {
+    Verdict vDyn = dynamicRun("racyHistogram", 8, true, false);
+    std::printf("  %-32s %-10s %-12s %-12s\n", "data race (racyHistogram)",
+                mark(fromReport(r[0].report)).c_str(),
+                mark(fromReport(r[1].report)).c_str(), mark(vDyn).c_str());
+  }
+  {
+    Verdict vDyn = dynamicRun("transposeNaive", 8, false, true);
+    std::printf("  %-32s %-10s %-12s %-12s\n",
+                "non-coalesced (transposeNaive)",
+                mark(fromReport(r[2].report)).c_str(),
+                mark(fromReport(r[3].report)).c_str(), mark(vDyn).c_str());
+  }
+  {
     Verdict vDyn;
     vDyn.applicable = false;  // no oracle without a specification
     std::printf("  %-32s %-10s %-12s %-12s\n",
-                "equivalence bug (non-square)", mark(vPara).c_str(),
-                mark(vFixed).c_str(), mark(vDyn).c_str());
+                "equivalence bug (non-square)",
+                mark(fromReport(r[4].report)).c_str(),
+                mark(fromReport(r[5].report)).c_str(), mark(vDyn).c_str());
   }
 
   std::printf("\nNote: the fixed-thread column only covers the one launch "

@@ -7,6 +7,9 @@
 // explodes with n and bit-width into timeouts; the parameterized method is
 // n-independent, times out on the fully symbolic transpose, and is rescued
 // by "+C" concretization.
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
 
 namespace {
@@ -22,8 +25,8 @@ struct Pair {
   bool transpose;  // grid family
 };
 
-check::Report nonParam(const check::VerificationSession& s, const Pair& p,
-                       uint32_t threads, bool concretizeSizes) {
+check::CheckRequest nonParam(const Pair& p, uint32_t threads,
+                             bool concretizeSizes) {
   check::CheckOptions o;
   o.method = check::Method::NonParameterized;
   o.width = p.width;
@@ -40,11 +43,10 @@ check::Report nonParam(const check::VerificationSession& s, const Pair& p,
         static_cast<uint64_t>(o.grid->gdimY) * o.grid->bdimY;
   }
   o.replayCounterexamples = false;  // measure pure solving, as the paper did
-  return s.equivalence(p.src, p.tgt, o);
+  return {check::CheckKind::Equivalence, p.src, p.tgt, o, {}, 0};
 }
 
-check::Report param(const check::VerificationSession& s, const Pair& p,
-                    bool concretizeConfig) {
+check::CheckRequest param(const Pair& p, bool concretizeConfig) {
   check::CheckOptions o;
   o.method = check::Method::Parameterized;
   o.width = p.width;
@@ -61,7 +63,7 @@ check::Report param(const check::VerificationSession& s, const Pair& p,
     }
   }
   o.replayCounterexamples = false;
-  return s.equivalence(p.src, p.tgt, o);
+  return {check::CheckKind::Equivalence, p.src, p.tgt, o, {}, 0};
 }
 
 }  // namespace
@@ -81,17 +83,30 @@ int main() {
   printRow("Kernel", {"NP n=4", "NP n=8", "NP n=16+C", "NP n=32+C",
                       "Param -C", "Param +C"});
 
+  // The whole table is one engine batch: every (pair, column) cell is an
+  // independent check, so the 30 solver runs fan out across the pool.
+  std::vector<std::unique_ptr<check::VerificationSession>> sessions;
+  std::vector<engine::BoundCheck> checks;
   for (const Pair& p : pairs) {
-    check::VerificationSession s(
-        kernels::combinedSource({p.src, p.tgt}, p.width));
+    sessions.push_back(std::make_unique<check::VerificationSession>(
+        kernels::combinedSource({p.src, p.tgt}, p.width)));
+    const check::VerificationSession* s = sessions.back().get();
+    checks.push_back({s, nonParam(p, 4, false)});
+    checks.push_back({s, nonParam(p, 8, false)});
+    checks.push_back({s, nonParam(p, 16, true)});
+    checks.push_back({s, nonParam(p, 32, true)});
+    checks.push_back({s, param(p, false)});
+    checks.push_back({s, param(p, true)});
+  }
+  engine::VerificationEngine eng(benchEngineOptions());
+  const std::vector<check::CheckResult> results = eng.runAll(checks);
+
+  constexpr size_t kCols = 6;
+  for (size_t row = 0; row < std::size(pairs); ++row) {
     std::vector<std::string> cells;
-    cells.push_back(cell(nonParam(s, p, 4, false)));
-    cells.push_back(cell(nonParam(s, p, 8, false)));
-    cells.push_back(cell(nonParam(s, p, 16, true)));
-    cells.push_back(cell(nonParam(s, p, 32, true)));
-    cells.push_back(cell(param(s, p, false)));
-    cells.push_back(cell(param(s, p, true)));
-    printRow(p.label, cells);
+    for (size_t col = 0; col < kCols; ++col)
+      cells.push_back(cell(results[row * kCols + col].report));
+    printRow(pairs[row].label, cells);
   }
 
   std::printf("\nPaper's Table II shape, reproduced: the parameterized "

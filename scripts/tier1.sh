@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite on the default build, plus the
+# concurrency-sensitive suites (engine / portfolio / query cache) rebuilt and
+# re-run under ThreadSanitizer so every PR race-checks the worker pool and the
+# solver cancellation paths.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== tier-1: default build + full ctest =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== tier-1: TSan stage skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tier-1: TSan build + engine concurrency suites =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target pugpara_tests
+# Only the suites that exercise cross-thread machinery; the sequential
+# checker/solver suites add nothing under TSan and triple the runtime.
+# Z3 ships uninstrumented, so suppress reports that originate inside it.
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
+  ./build-tsan/tests/pugpara_tests \
+  --gtest_filter='EngineTest.*:PortfolioTest.*:QueryCacheTest.*:StructuralHashTest.*'
+
+echo "== tier-1: all stages passed =="

@@ -47,7 +47,7 @@ Report runParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
 
   bool anyUnknown = false;
   for (const auto& vc : vcs.vcs) {
-    auto solver = smt::makeSolver(options.backend);
+    auto solver = options.makeSolver();
     solver->setTimeoutMs(options.solverTimeoutMs);
     solver->add(vc.formula);
     WallTimer solve;
@@ -124,7 +124,7 @@ Report runNonParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
   }
   encode::EquivalenceQuery q = encode::buildEquivalenceQuery(ctx, encS, encT);
 
-  auto solver = smt::makeSolver(options.backend);
+  auto solver = options.makeSolver();
   solver->setTimeoutMs(options.solverTimeoutMs);
   solver->add(q.assumptions);
   solver->add(q.outputsDiffer);

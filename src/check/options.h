@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -45,6 +47,17 @@ struct CheckOptions {
   bool replayCounterexamples = true;
   /// Replay budget: skip validation when the witness grid is larger.
   uint64_t maxReplayThreads = 1 << 16;
+
+  /// Solver construction override. The checkers obtain every solver through
+  /// makeSolver() below; the verification engine injects caching, portfolio
+  /// racing, deadlines and cancellation here without the checkers knowing.
+  /// Null (the default) means a plain `backend` solver.
+  std::function<std::unique_ptr<smt::Solver>()> solverFactory;
+
+  /// The one way checkers create solvers (honors `solverFactory`).
+  [[nodiscard]] std::unique_ptr<smt::Solver> makeSolver() const {
+    return solverFactory ? solverFactory() : smt::makeSolver(backend);
+  }
 
   [[nodiscard]] encode::EncodeOptions encodeOptions() const {
     encode::EncodeOptions eo;

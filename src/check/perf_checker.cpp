@@ -83,7 +83,7 @@ class PerfChecker {
   }
 
   bool satisfiable(Expr constraint, double* seconds) {
-    auto solver = smt::makeSolver(options_.backend);
+    auto solver = options_.makeSolver();
     solver->setTimeoutMs(options_.solverTimeoutMs);
     solver->add(sum_.assumptions);
     solver->add(constraint);

@@ -29,7 +29,7 @@ Report solveParamVcs(const lang::Kernel& kernel, expr::Context& ctx,
 
   bool anyUnknown = false;
   for (const auto& vc : vcs.vcs) {
-    auto solver = smt::makeSolver(options.backend);
+    auto solver = options.makeSolver();
     solver->setTimeoutMs(options.solverTimeoutMs);
     solver->add(vc.formula);
     WallTimer solve;
@@ -110,7 +110,7 @@ Report runNonParamPostcond(const lang::Kernel& kernel,
     violated = ctx.mkOr(violated, ctx.mkNot(pc.formula));
     for (Expr v : pc.specVars) witnesses.push_back(v);
   }
-  auto solver = smt::makeSolver(options.backend);
+  auto solver = options.makeSolver();
   solver->setTimeoutMs(options.solverTimeoutMs);
   solver->add(enc.assumptions);
   solver->add(violated);
@@ -227,7 +227,7 @@ Report checkAsserts(const lang::Kernel& kernel, const CheckOptions& options) {
     Expr bad = ctx.bot();
     for (const auto& ob : enc.asserts)
       bad = ctx.mkOr(bad, ctx.mkAnd(ob.guard, ctx.mkNot(ob.cond)));
-    auto solver = smt::makeSolver(options.backend);
+    auto solver = options.makeSolver();
     solver->setTimeoutMs(options.solverTimeoutMs);
     solver->add(enc.assumptions);
     solver->add(bad);

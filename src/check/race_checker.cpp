@@ -84,7 +84,7 @@ class RaceChecker {
   /// Sat-checks `constraint` under the kernel assumptions; on Sat, records a
   /// finding with the witness threads.
   bool satisfiable(Expr constraint, double* seconds) {
-    auto solver = smt::makeSolver(options_.backend);
+    auto solver = options_.makeSolver();
     solver->setTimeoutMs(options_.solverTimeoutMs);
     solver->add(sum_.assumptions);
     solver->add(constraint);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "check/options.h"
+#include "support/json.h"
 
 namespace pugpara::check {
 
@@ -35,6 +36,48 @@ std::string Counterexample::str() const {
   }
   if (replayed)
     os << (replayConfirmed ? " [replay: CONFIRMED]" : " [replay: rejected]");
+  return os.str();
+}
+
+std::string Counterexample::json() const {
+  std::ostringstream os;
+  os << "{\"grid\":[" << gdimX << ',' << gdimY << "],\"block\":[" << bdimX
+     << ',' << bdimY << ',' << bdimZ << "],\"scalarArgs\":[";
+  for (size_t i = 0; i < scalarArgs.size(); ++i)
+    os << (i ? "," : "") << scalarArgs[i];
+  os << "],\"witnessValues\":[";
+  for (size_t i = 0; i < witnessValues.size(); ++i)
+    os << (i ? "," : "") << witnessValues[i];
+  os << "],\"inputArrays\":[";
+  for (size_t i = 0; i < inputArrays.size(); ++i) {
+    os << (i ? ",[" : "[");
+    for (size_t j = 0; j < inputArrays[i].size(); ++j)
+      os << (j ? "," : "") << inputArrays[i][j];
+    os << ']';
+  }
+  os << "],\"replayed\":" << (replayed ? "true" : "false")
+     << ",\"replayConfirmed\":" << (replayConfirmed ? "true" : "false")
+     << ",\"replayDetail\":" << json::quote(replayDetail) << '}';
+  return os.str();
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  os << "{\"outcome\":" << json::quote(toString(outcome))
+     << ",\"method\":" << json::quote(method)
+     << ",\"detail\":" << json::quote(detail)
+     << ",\"solveSeconds\":" << json::number(solveSeconds)
+     << ",\"totalSeconds\":" << json::number(totalSeconds) << ",\"caveats\":[";
+  for (size_t i = 0; i < caveats.size(); ++i)
+    os << (i ? "," : "") << json::quote(caveats[i]);
+  os << "],\"stats\":{\"instances\":" << stats.instances
+     << ",\"qeCerts\":" << stats.qeCerts
+     << ",\"forallCerts\":" << stats.forallCerts
+     << ",\"uniformCerts\":" << stats.uniformCerts
+     << "},\"counterexamples\":[";
+  for (size_t i = 0; i < counterexamples.size(); ++i)
+    os << (i ? "," : "") << counterexamples[i].json();
+  os << "]}";
   return os.str();
 }
 

@@ -31,6 +31,8 @@ struct Counterexample {
   std::string replayDetail;
 
   [[nodiscard]] std::string str() const;
+  /// Machine-readable form (one JSON object).
+  [[nodiscard]] std::string json() const;
 };
 
 struct Report {
@@ -44,7 +46,11 @@ struct Report {
   std::vector<Counterexample> counterexamples;
 
   [[nodiscard]] bool ok() const { return outcome == Outcome::Verified; }
+  /// Human-readable rendering (unchanged, the CLI default).
   [[nodiscard]] std::string str() const;
+  /// Machine-readable rendering: outcome, method, timings, caveats, stats
+  /// and counterexamples as one JSON object (the CLI's --json format).
+  [[nodiscard]] std::string json() const;
 };
 
 }  // namespace pugpara::check

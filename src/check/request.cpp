@@ -1,0 +1,107 @@
+#include "check/request.h"
+
+#include "check/equiv_checker.h"
+#include "check/postcond_checker.h"
+#include "check/race_checker.h"
+#include "support/diagnostics.h"
+#include "support/json.h"
+
+namespace pugpara::check {
+
+const char* toString(CheckKind k) {
+  switch (k) {
+    case CheckKind::Equivalence: return "equivalence";
+    case CheckKind::Postconditions: return "postconditions";
+    case CheckKind::Asserts: return "asserts";
+    case CheckKind::Races: return "races";
+    case CheckKind::Performance: return "performance";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string makeLabel(CheckKind kind, const std::string& kernel,
+                      const std::string& kernel2) {
+  std::string out = toString(kind);
+  out += '(';
+  out += kernel;
+  if (kind == CheckKind::Equivalence) {
+    out += ", ";
+    out += kernel2;
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace
+
+std::string CheckRequest::label() const {
+  return makeLabel(kind, kernel, kernel2);
+}
+
+std::string CheckResult::label() const {
+  return makeLabel(kind, kernel, kernel2);
+}
+
+std::string CheckResult::json() const {
+  std::string out = "{\"kind\":";
+  out += json::quote(toString(kind));
+  out += ",\"kernel\":";
+  out += json::quote(kernel);
+  if (kind == CheckKind::Equivalence) {
+    out += ",\"kernel2\":";
+    out += json::quote(kernel2);
+  }
+  out += ",\"report\":";
+  out += report.json();
+  out += '}';
+  return out;
+}
+
+CheckResult runCheck(const lang::Program& program,
+                     const CheckRequest& request) {
+  CheckResult result;
+  result.kind = request.kind;
+  result.kernel = request.kernel;
+  result.kernel2 = request.kernel2;
+
+  auto find = [&](const std::string& name) -> const lang::Kernel* {
+    return program.findKernel(name);
+  };
+
+  try {
+    const lang::Kernel* k1 = find(request.kernel);
+    if (k1 == nullptr)
+      throw PugError("no kernel named '" + request.kernel + "'");
+    switch (request.kind) {
+      case CheckKind::Equivalence: {
+        const lang::Kernel* k2 = find(request.kernel2);
+        if (k2 == nullptr)
+          throw PugError("no kernel named '" + request.kernel2 + "'");
+        result.report = checkEquivalence(*k1, *k2, request.options);
+        break;
+      }
+      case CheckKind::Postconditions:
+        result.report = checkPostconditions(*k1, request.options);
+        break;
+      case CheckKind::Asserts:
+        result.report = checkAsserts(*k1, request.options);
+        break;
+      case CheckKind::Races:
+        result.report = checkRaces(*k1, request.options);
+        break;
+      case CheckKind::Performance:
+        result.report =
+            checkPerformance(*k1, request.options, request.perf);
+        break;
+    }
+  } catch (const PugError& e) {
+    result.report.outcome = Outcome::Unsupported;
+    result.report.method = "none";
+    result.report.detail = e.what();
+  }
+  return result;
+}
+
+}  // namespace pugpara::check

@@ -1,6 +1,8 @@
 // VerificationSession: the library's convenience facade. Owns the parsed
-// program and dispatches to the checkers by kernel name. This is the API
-// the examples, benches and most downstream users go through.
+// program and executes CheckRequests against it. This is the API the
+// examples, benches and most downstream users go through; batches of
+// requests go through engine::VerificationEngine instead, which runs them
+// on a worker pool with a shared solver-query cache.
 #pragma once
 
 #include <memory>
@@ -10,6 +12,7 @@
 #include "check/perf_checker.h"
 #include "check/postcond_checker.h"
 #include "check/race_checker.h"
+#include "check/request.h"
 #include "lang/parser.h"
 
 namespace pugpara::check {
@@ -32,27 +35,44 @@ class VerificationSession {
   }
   [[nodiscard]] const lang::Program& program() const { return *program_; }
 
+  /// The uniform entry point: executes one CheckRequest. Thread-safe for
+  /// concurrent calls (the program is read-only after construction and every
+  /// check builds its own expression context and solver).
+  [[nodiscard]] CheckResult run(const CheckRequest& request) const {
+    return runCheck(*program_, request);
+  }
+
+  // ---- Deprecated named entry points ---------------------------------------
+  // Thin wrappers over run(), kept so existing callers compile unchanged.
+  // New code should build a CheckRequest (and batch them via the engine).
+
+  /// \deprecated Use run() with CheckKind::Equivalence.
   [[nodiscard]] Report equivalence(const std::string& source,
                                    const std::string& target,
                                    const CheckOptions& options = {}) const {
-    return checkEquivalence(kernel(source), kernel(target), options);
+    return run({CheckKind::Equivalence, source, target, options, {}, 0})
+        .report;
   }
+  /// \deprecated Use run() with CheckKind::Postconditions.
   [[nodiscard]] Report postconditions(const std::string& name,
                                       const CheckOptions& options = {}) const {
-    return checkPostconditions(kernel(name), options);
+    return run({CheckKind::Postconditions, name, "", options, {}, 0}).report;
   }
+  /// \deprecated Use run() with CheckKind::Asserts.
   [[nodiscard]] Report asserts(const std::string& name,
                                const CheckOptions& options = {}) const {
-    return checkAsserts(kernel(name), options);
+    return run({CheckKind::Asserts, name, "", options, {}, 0}).report;
   }
+  /// \deprecated Use run() with CheckKind::Races.
   [[nodiscard]] Report races(const std::string& name,
                              const CheckOptions& options = {}) const {
-    return checkRaces(kernel(name), options);
+    return run({CheckKind::Races, name, "", options, {}, 0}).report;
   }
+  /// \deprecated Use run() with CheckKind::Performance.
   [[nodiscard]] Report performance(const std::string& name,
                                    const CheckOptions& options = {},
                                    const PerfOptions& perf = {}) const {
-    return checkPerformance(kernel(name), options, perf);
+    return run({CheckKind::Performance, name, "", options, perf, 0}).report;
   }
 
  private:

@@ -1,0 +1,242 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "engine/portfolio_solver.h"
+
+namespace pugpara::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-check wall-clock deadline. Disabled when `enabled` is false.
+struct Deadline {
+  Clock::time_point end{};
+  bool enabled = false;
+
+  [[nodiscard]] uint32_t remainingMs() const {
+    if (!enabled) return 0;  // caller treats 0 as "no deadline bound"
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    end - Clock::now())
+                    .count();
+    return left > 0 ? static_cast<uint32_t>(left) : 0;
+  }
+  [[nodiscard]] bool expired() const {
+    return enabled && Clock::now() >= end;
+  }
+};
+
+}  // namespace
+
+/// Shared cancellation token: a sticky flag plus the set of live solvers to
+/// interrupt. Solvers register around their check() calls so cancelAll()
+/// reaches queries already in flight.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::unordered_set<smt::Solver*> live;
+
+  void enter(smt::Solver* s) {
+    std::lock_guard<std::mutex> lock(mu);
+    live.insert(s);
+    if (cancelled.load(std::memory_order_acquire)) s->requestStop();
+  }
+  void leave(smt::Solver* s) {
+    std::lock_guard<std::mutex> lock(mu);
+    live.erase(s);
+  }
+  void cancel() {
+    cancelled.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu);
+    for (smt::Solver* s : live) s->requestStop();
+  }
+};
+
+namespace {
+
+/// Enforces the engine's per-check deadline and cancellation on one inner
+/// solver: clamps every check()'s timeout to the remaining budget, answers
+/// Unknown outright once the deadline passed or the engine was cancelled,
+/// and keeps the inner solver reachable for cancelAll() while solving.
+///
+/// Every Unknown the governor causes (early bail-out or a clamped budget
+/// running dry) is recorded in `clipped`. The engine needs that signal:
+/// several checkers pose Sat-seeking queries ("does a racing pair exist?")
+/// and read non-Sat as proof, so a governed Unknown they cannot distinguish
+/// from Unsat would silently turn a deadline into a Verified verdict. runOne
+/// downgrades such results to Outcome::Unknown after the fact.
+class GovernedSolver final : public smt::Solver {
+ public:
+  GovernedSolver(std::unique_ptr<smt::Solver> inner,
+                 std::shared_ptr<CancelState> cancel, Deadline deadline,
+                 std::shared_ptr<std::atomic<bool>> clipped)
+      : inner_(std::move(inner)),
+        cancel_(std::move(cancel)),
+        deadline_(deadline),
+        clipped_(std::move(clipped)) {}
+
+  void push() override { inner_->push(); }
+  void pop() override { inner_->pop(); }
+  void add(expr::Expr assertion) override { inner_->add(assertion); }
+
+  smt::CheckResult check() override {
+    if (cancel_->cancelled.load(std::memory_order_acquire) ||
+        deadline_.expired())
+      return clip();
+
+    uint32_t budget = requestedTimeoutMs_;
+    if (const uint32_t left = deadline_.remainingMs(); left != 0)
+      budget = budget == 0 ? left : std::min(budget, left);
+    inner_->setTimeoutMs(budget);
+
+    cancel_->enter(inner_.get());
+    smt::CheckResult r = inner_->check();
+    cancel_->leave(inner_.get());
+    if (r == smt::CheckResult::Unknown &&
+        (deadline_.enabled ||
+         cancel_->cancelled.load(std::memory_order_acquire)))
+      return clip();
+    return r;
+  }
+
+  [[nodiscard]] std::unique_ptr<smt::Model> model() override {
+    return inner_->model();
+  }
+
+  void setTimeoutMs(uint32_t ms) override { requestedTimeoutMs_ = ms; }
+  void requestStop() override { inner_->requestStop(); }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  smt::CheckResult clip() {
+    clipped_->store(true, std::memory_order_release);
+    return smt::CheckResult::Unknown;
+  }
+
+  std::unique_ptr<smt::Solver> inner_;
+  std::shared_ptr<CancelState> cancel_;
+  Deadline deadline_;
+  std::shared_ptr<std::atomic<bool>> clipped_;
+  uint32_t requestedTimeoutMs_ = 0;
+};
+
+}  // namespace
+
+VerificationEngine::VerificationEngine(EngineOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache ? options_.cache
+                            : std::make_shared<smt::QueryCache>()),
+      cancel_(std::make_shared<CancelState>()) {}
+
+VerificationEngine::~VerificationEngine() = default;
+
+check::CheckResult VerificationEngine::runOne(const BoundCheck& check) {
+  check::CheckRequest req = check.request;
+
+  const uint32_t deadlineMs =
+      req.deadlineMs != 0 ? req.deadlineMs : options_.defaultDeadlineMs;
+  Deadline deadline;
+  if (deadlineMs != 0) {
+    deadline.enabled = true;
+    deadline.end = Clock::now() + std::chrono::milliseconds(deadlineMs);
+  }
+
+  const bool portfolio = options_.portfolio;
+  const smt::Backend backend = req.options.backend;
+  std::shared_ptr<CancelState> cancel = cancel_;
+  smt::QueryCache* cache = cache_.get();
+  auto clipped = std::make_shared<std::atomic<bool>>(false);
+  req.options.solverFactory = [portfolio, backend, cancel, cache, deadline,
+                               clipped]() -> std::unique_ptr<smt::Solver> {
+    std::unique_ptr<smt::Solver> s =
+        portfolio ? makePortfolioSolver() : smt::makeSolver(backend);
+    s = std::make_unique<GovernedSolver>(std::move(s), cancel, deadline,
+                                         clipped);
+    return smt::makeCachingSolver(std::move(s), *cache);
+  };
+
+  try {
+    check::CheckResult result = check.session->run(req);
+    // A clipped query makes any "nothing found" verdict vacuous: Sat-seeking
+    // checkers read the governor's Unknown as Unsat, so without this fence a
+    // 1 ms deadline could certify a racy kernel race-free. Positive findings
+    // stand — a Sat answer is ground truth no matter what was clipped.
+    if (clipped->load(std::memory_order_acquire) &&
+        (result.report.outcome == check::Outcome::Verified ||
+         result.report.outcome == check::Outcome::NoBugFound)) {
+      result.report.outcome = check::Outcome::Unknown;
+      result.report.detail =
+          "deadline/cancellation interrupted at least one solver query; "
+          "partial verdict withheld (was: " + result.report.detail + ")";
+    }
+    return result;
+  } catch (const std::exception& e) {
+    // runCheck already absorbs PugError; this is the last-resort fence that
+    // keeps one misbehaving check from tearing down the whole batch.
+    check::CheckResult result;
+    result.kind = req.kind;
+    result.kernel = req.kernel;
+    result.kernel2 = req.kernel2;
+    result.report.outcome = check::Outcome::Unsupported;
+    result.report.method = "none";
+    result.report.detail = std::string("internal error: ") + e.what();
+    return result;
+  }
+}
+
+std::vector<check::CheckResult> VerificationEngine::runAll(
+    std::span<const BoundCheck> checks) {
+  std::vector<check::CheckResult> results(checks.size());
+
+  unsigned jobs = options_.jobs;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  jobs = static_cast<unsigned>(
+      std::min<size_t>(jobs, checks.size() == 0 ? 1 : checks.size()));
+
+  if (jobs <= 1) {
+    for (size_t i = 0; i < checks.size(); ++i) results[i] = runOne(checks[i]);
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= checks.size()) return;
+      results[i] = runOne(checks[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (unsigned t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the pool's first worker
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<check::CheckResult> VerificationEngine::runAll(
+    const check::VerificationSession& session,
+    std::span<const check::CheckRequest> requests) {
+  std::vector<BoundCheck> bound;
+  bound.reserve(requests.size());
+  for (const check::CheckRequest& r : requests)
+    bound.push_back({&session, r});
+  return runAll(bound);
+}
+
+check::CheckResult VerificationEngine::run(
+    const check::VerificationSession& session,
+    const check::CheckRequest& request) {
+  return runOne({&session, request});
+}
+
+void VerificationEngine::cancelAll() { cancel_->cancel(); }
+
+}  // namespace pugpara::engine

@@ -1,0 +1,129 @@
+#include "engine/portfolio_solver.h"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace pugpara::engine {
+
+namespace {
+
+using smt::CheckResult;
+
+class PortfolioSolver final : public smt::Solver {
+ public:
+  void push() override { scopes_.push_back(assertions_.size()); }
+
+  void pop() override {
+    require(!scopes_.empty(), "PortfolioSolver::pop without push");
+    assertions_.resize(scopes_.back());
+    scopes_.pop_back();
+  }
+
+  void add(expr::Expr assertion) override {
+    require(assertion.sort().isBool(), "asserted expression must be Bool");
+    assertions_.push_back(assertion);
+  }
+
+  CheckResult check() override {
+    winner_.reset();
+    if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
+
+    // Fresh backend instances per race: a cancelled loser is sticky-stopped
+    // and must not leak into the next check().
+    std::array<std::unique_ptr<smt::Solver>, 2> racers = {
+        smt::makeZ3Solver(), smt::makeMiniSolver()};
+    for (auto& s : racers) {
+      s->setTimeoutMs(timeoutMs_);
+      for (expr::Expr a : assertions_) s->add(a);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_ = {racers[0].get(), racers[1].get()};
+      // A requestStop() that slipped in between the entry check and this
+      // registration would miss the racers; re-check under the lock.
+      if (stopped_.load(std::memory_order_acquire))
+        for (auto& s : racers) s->requestStop();
+    }
+
+    std::array<CheckResult, 2> results = {CheckResult::Unknown,
+                                          CheckResult::Unknown};
+    std::array<bool, 2> done = {false, false};
+    std::mutex raceMu;
+    std::condition_variable cv;
+    auto run = [&](int i) {
+      CheckResult r = racers[i]->check();
+      {
+        std::lock_guard<std::mutex> lock(raceMu);
+        results[i] = r;
+        done[i] = true;
+      }
+      cv.notify_all();
+    };
+    std::thread t0(run, 0), t1(run, 1);
+
+    int win = -1;
+    {
+      std::unique_lock<std::mutex> lock(raceMu);
+      cv.wait(lock, [&] {
+        for (int i = 0; i < 2; ++i)
+          if (done[i] && results[i] != CheckResult::Unknown) {
+            win = i;
+            return true;
+          }
+        return done[0] && done[1];
+      });
+    }
+    if (win >= 0) racers[1 - win]->requestStop();
+    t0.join();
+    t1.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_ = {nullptr, nullptr};
+    }
+
+    if (win < 0) return CheckResult::Unknown;
+    winner_ = std::move(racers[win]);  // keeps the model's backend alive
+    return results[win];
+  }
+
+  [[nodiscard]] std::unique_ptr<smt::Model> model() override {
+    require(winner_ != nullptr, "PortfolioSolver::model: last check not sat");
+    return winner_->model();
+  }
+
+  void setTimeoutMs(uint32_t ms) override { timeoutMs_ = ms; }
+
+  void requestStop() override {
+    stopped_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (smt::Solver* s : active_)
+      if (s != nullptr) s->requestStop();
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "portfolio(z3+minismt)";
+  }
+
+ private:
+  std::vector<expr::Expr> assertions_;
+  std::vector<size_t> scopes_;
+  uint32_t timeoutMs_ = 0;
+  std::unique_ptr<smt::Solver> winner_;
+  std::atomic<bool> stopped_{false};
+  std::mutex mu_;  // guards active_ against cross-thread requestStop()
+  std::array<smt::Solver*, 2> active_ = {nullptr, nullptr};
+};
+
+}  // namespace
+
+std::unique_ptr<smt::Solver> makePortfolioSolver() {
+  return std::make_unique<PortfolioSolver>();
+}
+
+}  // namespace pugpara::engine

@@ -1,0 +1,28 @@
+// Portfolio solving: race Z3 against MiniSMT on the same query and take the
+// first definitive answer.
+//
+// The two backends have complementary strengths — Z3 digests quantified
+// frame axioms natively, MiniSMT's bit-blasting often wins on the dense
+// quantifier-free VCs the MonotoneQe pipeline emits — so the portfolio's
+// latency is min(z3, mini) per query, the standard trick of modern
+// solver-backed tools. The loser is cancelled cooperatively through
+// smt::Solver::requestStop().
+#pragma once
+
+#include <memory>
+
+#include "smt/solver.h"
+
+namespace pugpara::engine {
+
+/// Returns a Solver that fans each check() out to a fresh Z3 and MiniSMT
+/// instance on two threads. Semantics:
+///   * first Sat/Unsat wins; the other backend is stopped and discarded;
+///   * a backend answering Unknown (quantifiers in MiniSMT, timeout, stop)
+///     just drops out of the race; the result is Unknown only if both do;
+///   * model() serves from the winning backend.
+/// Like every Solver, the returned object is single-threaded from the
+/// caller's point of view (the internal fan-out is invisible).
+[[nodiscard]] std::unique_ptr<smt::Solver> makePortfolioSolver();
+
+}  // namespace pugpara::engine

@@ -1,0 +1,115 @@
+#include "expr/hash.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pugpara::expr {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one word.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t combine(uint64_t h, uint64_t v) { return mix(h ^ mix(v)); }
+
+uint64_t hashString(const std::string& s, uint64_t h) {
+  // FNV-1a over the bytes, then folded into the running digest.
+  uint64_t f = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) f = (f ^ c) * 0x100000001b3ULL;
+  return combine(h, f);
+}
+
+uint64_t hashSort(Sort s, uint64_t h) {
+  if (s.isBool()) return combine(h, 1);
+  if (s.isBv()) return combine(combine(h, 2), s.width());
+  return combine(combine(combine(h, 3), s.indexWidth()), s.elemWidth());
+}
+
+class Hasher {
+ public:
+  explicit Hasher(uint64_t seed) : seed_(mix(seed ^ 0xa0761d6478bd642fULL)) {}
+
+  uint64_t hash(Expr e) {
+    auto it = memo_.find(e.node());
+    if (it != memo_.end()) return it->second;
+
+    // Explicit stack: VC DAGs can be deep enough to overflow recursion.
+    std::vector<Expr> stack{e};
+    while (!stack.empty()) {
+      Expr cur = stack.back();
+      if (memo_.count(cur.node())) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (size_t i = 0; i < cur.arity(); ++i) {
+        if (!memo_.count(cur.kid(i).node())) {
+          stack.push_back(cur.kid(i));
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      memo_.emplace(cur.node(), compute(cur));
+    }
+    return memo_.at(e.node());
+  }
+
+ private:
+  uint64_t compute(Expr e) {
+    uint64_t h = combine(seed_, static_cast<uint64_t>(e.kind()));
+    h = hashSort(e.sort(), h);
+    switch (e.kind()) {
+      case Kind::BoolConst:
+        h = combine(h, e.isTrue() ? 1 : 0);
+        break;
+      case Kind::BvConst:
+        h = combine(h, e.bvValue());
+        break;
+      case Kind::Var:
+        h = hashString(e.varName(), h);
+        break;
+      case Kind::BvExtract:
+        h = combine(combine(h, e.extractHi()), e.extractLo());
+        break;
+      case Kind::BvZeroExt:
+      case Kind::BvSignExt:
+        h = combine(h, e.extendBy());
+        break;
+      case Kind::Forall:
+      case Kind::Exists:
+        h = combine(h, e.boundCount());
+        break;
+      default:
+        break;
+    }
+    for (size_t i = 0; i < e.arity(); ++i)
+      h = combine(h, memo_.at(e.kid(i).node()));
+    return h;
+  }
+
+  uint64_t seed_;
+  std::unordered_map<const Node*, uint64_t> memo_;
+};
+
+}  // namespace
+
+uint64_t structuralHash(Expr e, uint64_t seed) {
+  return Hasher(seed).hash(e);
+}
+
+uint64_t structuralHash(std::span<const Expr> exprs, uint64_t seed) {
+  // XOR-accumulate the per-assertion digests: insensitive to assertion order
+  // (a conjunction is a set), still sensitive to multiplicity-free content.
+  Hasher hasher(seed);
+  uint64_t acc = mix(seed ^ exprs.size());
+  for (Expr e : exprs) acc ^= mix(hasher.hash(e));
+  return mix(acc);
+}
+
+}  // namespace pugpara::expr

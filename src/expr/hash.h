@@ -1,0 +1,29 @@
+// Context-independent structural hashing of expression DAGs.
+//
+// Hash-consing makes pointer identity equal structural identity *within* one
+// Context, but the verification engine needs to recognize the same formula
+// across Contexts (every check builds its own) and across processes (the
+// persistent solver-query cache). structuralHash folds kind, sort, constants,
+// variable names and children into a well-mixed 64-bit digest, memoized per
+// node so shared subterms are hashed once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "expr/expr.h"
+
+namespace pugpara::expr {
+
+/// 64-bit structural digest of `e`, independent of the owning Context and of
+/// node creation order. `seed` perturbs the whole digest, so two calls with
+/// different seeds behave as independent hash functions (the query cache
+/// combines two of them into a 128-bit key).
+[[nodiscard]] uint64_t structuralHash(Expr e, uint64_t seed = 0);
+
+/// Order-insensitive digest of an assertion *set* (conjunctive semantics:
+/// the set {a, b} and {b, a} must key identically).
+[[nodiscard]] uint64_t structuralHash(std::span<const Expr> exprs,
+                                      uint64_t seed = 0);
+
+}  // namespace pugpara::expr

@@ -7,6 +7,7 @@
 // motivates PUGpara's quantifier-elimination machinery (Sec. IV-D). The
 // MonotoneQe frame mode produces quantifier-free VCs this backend can
 // decide; NativeForall VCs it cannot.
+#include <atomic>
 #include <memory>
 
 #include "expr/eval.h"
@@ -67,6 +68,7 @@ class MiniSolver final : public Solver {
 
   CheckResult check() override {
     model_.reset();
+    if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
     if (assertions_.empty()) {
       model_ = std::make_unique<MiniModel>(expr::Env{});
       return CheckResult::Sat;
@@ -101,9 +103,10 @@ class MiniSolver final : public Solver {
 
     WallTimer timer;
     const uint32_t budget = timeoutMs_;
-    if (budget != 0)
-      sat.setInterrupt(
-          [&timer, budget]() { return timer.millis() < budget; });
+    sat.setInterrupt([this, &timer, budget]() {
+      if (stopped_.load(std::memory_order_acquire)) return false;
+      return budget == 0 || timer.millis() < budget;
+    });
 
     switch (sat.solve()) {
       case mini::SatResult::Unsat:
@@ -148,11 +151,17 @@ class MiniSolver final : public Solver {
   }
 
   void setTimeoutMs(uint32_t ms) override { timeoutMs_ = ms; }
+
+  void requestStop() override {
+    stopped_.store(true, std::memory_order_release);
+  }
+
   [[nodiscard]] std::string name() const override { return "minismt"; }
 
  private:
   std::vector<Expr> assertions_;
   std::vector<size_t> scopes_;
+  std::atomic<bool> stopped_{false};
   uint32_t timeoutMs_ = 0;
   std::unique_ptr<MiniModel> model_;
 };

@@ -1,0 +1,140 @@
+#include "smt/query_cache.h"
+
+#include <fstream>
+#include <vector>
+
+#include "expr/hash.h"
+#include "support/diagnostics.h"
+
+namespace pugpara::smt {
+
+QueryKey queryKey(std::span<const expr::Expr> assertions) {
+  return {expr::structuralHash(assertions, 0x5851f42d4c957f2dULL),
+          expr::structuralHash(assertions, 0x14057b7ef767814fULL)};
+}
+
+std::optional<CheckResult> QueryCache::lookup(const QueryKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void QueryCache::insert(const QueryKey& key, CheckResult result) {
+  if (result == CheckResult::Unknown) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.emplace(key, result).second) ++stats_.insertions;
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool QueryCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hi = 0, lo = 0;
+  std::string res;
+  while (in >> std::hex >> hi >> lo >> res) {
+    CheckResult r;
+    if (res == "sat") r = CheckResult::Sat;
+    else if (res == "unsat") r = CheckResult::Unsat;
+    else return false;
+    if (entries_.emplace(QueryKey{hi, lo}, r).second) ++stats_.insertions;
+  }
+  return in.eof();
+}
+
+bool QueryCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << std::hex;
+  for (const auto& [key, result] : entries_)
+    out << key.hi << ' ' << key.lo << ' ' << toString(result) << '\n';
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+class CachingSolver final : public Solver {
+ public:
+  CachingSolver(std::unique_ptr<Solver> inner, QueryCache& cache)
+      : inner_(std::move(inner)), cache_(cache) {}
+
+  void push() override {
+    flush();
+    scopes_.push_back(assertions_.size());
+    inner_->push();
+  }
+
+  void pop() override {
+    require(!scopes_.empty(), "CachingSolver::pop without push");
+    flush();
+    assertions_.resize(scopes_.back());
+    flushed_ = assertions_.size();
+    scopes_.pop_back();
+    inner_->pop();
+  }
+
+  void add(expr::Expr assertion) override {
+    require(assertion.sort().isBool(), "asserted expression must be Bool");
+    assertions_.push_back(assertion);
+  }
+
+  CheckResult check() override {
+    const QueryKey key = queryKey(assertions_);
+    if (auto cached = cache_.lookup(key)) {
+      // Unsat needs no model: the backend never sees the query. Sat still
+      // solves (the caller will want the model) but the hit is recorded.
+      if (*cached == CheckResult::Unsat) return CheckResult::Unsat;
+    }
+    flush();
+    CheckResult r = inner_->check();
+    cache_.insert(key, r);
+    return r;
+  }
+
+  [[nodiscard]] std::unique_ptr<Model> model() override {
+    return inner_->model();
+  }
+
+  void setTimeoutMs(uint32_t ms) override { inner_->setTimeoutMs(ms); }
+  void requestStop() override { inner_->requestStop(); }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+cache";
+  }
+
+ private:
+  void flush() {
+    for (; flushed_ < assertions_.size(); ++flushed_)
+      inner_->add(assertions_[flushed_]);
+  }
+
+  std::unique_ptr<Solver> inner_;
+  QueryCache& cache_;
+  std::vector<expr::Expr> assertions_;
+  std::vector<size_t> scopes_;
+  size_t flushed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> makeCachingSolver(std::unique_ptr<Solver> inner,
+                                          QueryCache& cache) {
+  return std::make_unique<CachingSolver>(std::move(inner), cache);
+}
+
+}  // namespace pugpara::smt

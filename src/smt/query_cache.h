@@ -1,0 +1,88 @@
+// Thread-safe solver-query cache.
+//
+// Verification runs pose highly repetitive queries: the same VC shows up
+// across methods, width sweeps re-derive shared obligations, and batch
+// re-runs of a corpus repeat entire assertion sets verbatim. The cache keys
+// a query by a 128-bit structural digest of its asserted expression set
+// (context-independent, see expr/hash.h) and remembers *ground-truth*
+// results only: Sat and Unsat. Unknown is never cached — it depends on the
+// timeout budget of the run that produced it and would poison later runs.
+//
+// A cached Unsat short-circuits the solver entirely (no model is needed).
+// A cached Sat is advisory: the caller still solves to obtain a model, but
+// the hit is counted and the entry keeps the persistent file warm.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "expr/expr.h"
+#include "smt/solver.h"
+
+namespace pugpara::smt {
+
+/// 128-bit structural digest of an assertion set. Two independently seeded
+/// 64-bit digests make accidental collisions (which would silently flip a
+/// verdict) astronomically unlikely.
+struct QueryKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const QueryKey& a, const QueryKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+struct QueryKeyHash {
+  size_t operator()(const QueryKey& k) const {
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Computes the cache key for an asserted expression set (order-insensitive).
+[[nodiscard]] QueryKey queryKey(std::span<const expr::Expr> assertions);
+
+class QueryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // lookups answered from the cache
+    uint64_t misses = 0;      // lookups that fell through to the solver
+    uint64_t insertions = 0;  // distinct entries stored
+  };
+
+  /// Returns the cached result and counts a hit; counts a miss otherwise.
+  [[nodiscard]] std::optional<CheckResult> lookup(const QueryKey& key);
+
+  /// Stores a ground-truth result. Unknown is silently dropped.
+  void insert(const QueryKey& key, CheckResult result);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] size_t size() const;
+
+  /// Best-effort persistence (one `hi lo result` line per entry). Merges
+  /// into the current contents on load; returns false when the file is
+  /// missing or malformed (the cache is then left unchanged or partially
+  /// merged — never corrupted).
+  bool load(const std::string& path);
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<QueryKey, CheckResult, QueryKeyHash> entries_;
+  Stats stats_;
+};
+
+/// Wraps `inner` with the cache: check() first consults `cache` with the key
+/// of everything asserted so far, short-circuiting on a cached Unsat and
+/// recording fresh Sat/Unsat answers. The wrapper forwards assertions to the
+/// inner solver lazily, so a fully cached query never touches the backend.
+/// `cache` must outlive the returned solver.
+[[nodiscard]] std::unique_ptr<Solver> makeCachingSolver(
+    std::unique_ptr<Solver> inner, QueryCache& cache);
+
+}  // namespace pugpara::smt

@@ -47,6 +47,14 @@ class Solver {
 
   /// Soft wall-clock budget per check() call; 0 = unlimited.
   virtual void setTimeoutMs(uint32_t ms) = 0;
+
+  /// Cooperative cancellation: asks an in-flight check() to give up and
+  /// return Unknown as soon as it can. The ONLY Solver method that may be
+  /// called from a different thread than the one running check(). Sticky —
+  /// a stopped solver stays stopped (portfolio losers are discarded, never
+  /// reused). Default: no-op for backends without an interrupt mechanism.
+  virtual void requestStop() {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -2,6 +2,7 @@
 // per-node memoization, so shared subterms are translated once.
 #include <z3++.h>
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -156,6 +157,7 @@ class Z3Solver final : public Solver {
   }
 
   CheckResult check() override {
+    if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
     switch (solver_.check()) {
       case z3::sat: return CheckResult::Sat;
       case z3::unsat: return CheckResult::Unsat;
@@ -173,9 +175,15 @@ class Z3Solver final : public Solver {
     solver_.set(p);
   }
 
+  void requestStop() override {
+    stopped_.store(true, std::memory_order_release);
+    z3_->interrupt();  // Z3's documented cross-thread cancellation entry
+  }
+
   [[nodiscard]] std::string name() const override { return "z3"; }
 
  private:
+  std::atomic<bool> stopped_{false};
   std::shared_ptr<z3::context> z3_;
   z3::solver solver_;
   std::shared_ptr<Z3Translator> tr_;

@@ -1,0 +1,49 @@
+// Minimal JSON emission helpers for the machine-readable report format.
+// Emission only — the tool never parses JSON, so no parser lives here.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pugpara::json {
+
+/// Escapes and double-quotes a string per RFC 8259.
+inline std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Doubles render with enough digits to round-trip; JSON has no Inf/NaN, so
+/// those degrade to null.
+inline std::string number(double v) {
+  if (v != v || v > 1.7e308 || v < -1.7e308) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace pugpara::json

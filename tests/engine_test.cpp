@@ -1,0 +1,392 @@
+// Tests of the concurrent verification engine, the batch CheckRequest API,
+// the solver-query cache and the portfolio solver. These are the tests the
+// ThreadSanitizer preset runs (scripts/tier1.sh) — keep every fixture name
+// matched by the Engine*/Portfolio*/QueryCache*/StructuralHash* filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/session.h"
+#include "engine/engine.h"
+#include "engine/portfolio_solver.h"
+#include "expr/context.h"
+#include "expr/hash.h"
+#include "kernels/corpus.h"
+#include "smt/query_cache.h"
+
+namespace pugpara {
+namespace {
+
+using check::CheckKind;
+using check::CheckOptions;
+using check::CheckRequest;
+using check::CheckResult;
+using check::Outcome;
+using check::VerificationSession;
+using engine::EngineOptions;
+using engine::VerificationEngine;
+using expr::Context;
+using expr::Expr;
+using expr::Sort;
+using kernels::combinedSource;
+
+CheckOptions fastOpts(uint32_t width = 8) {
+  CheckOptions o;
+  o.method = check::Method::Parameterized;
+  o.width = width;
+  o.solverTimeoutMs = 120000;
+  return o;
+}
+
+/// The shared small batch: cheap, mixed outcomes (verified + bug-found).
+std::vector<CheckRequest> smallBatch() {
+  std::vector<CheckRequest> reqs;
+  for (const char* k : {"vecAdd", "racyHistogram"}) {
+    for (CheckKind kind :
+         {CheckKind::Races, CheckKind::Asserts, CheckKind::Postconditions}) {
+      CheckRequest r;
+      r.kind = kind;
+      r.kernel = k;
+      r.options = fastOpts();
+      reqs.push_back(std::move(r));
+    }
+  }
+  return reqs;
+}
+
+std::vector<Outcome> outcomes(const std::vector<CheckResult>& rs) {
+  std::vector<Outcome> out;
+  for (const auto& r : rs) out.push_back(r.report.outcome);
+  return out;
+}
+
+// ---- StructuralHash --------------------------------------------------------
+
+TEST(StructuralHashTest, StableAcrossContexts) {
+  auto build = [](Context& ctx) {
+    Expr x = ctx.var("x", Sort::bv(16));
+    Expr y = ctx.var("y", Sort::bv(16));
+    return ctx.mkUlt(ctx.mkAdd(ctx.mkMul(x, y), ctx.bvVal(7, 16)), y);
+  };
+  Context a, b;
+  EXPECT_EQ(expr::structuralHash(build(a)), expr::structuralHash(build(b)));
+}
+
+TEST(StructuralHashTest, DistinguishesStructure) {
+  Context ctx;
+  Expr x = ctx.var("x", Sort::bv(16));
+  Expr y = ctx.var("y", Sort::bv(16));
+  const uint64_t add = expr::structuralHash(ctx.mkAdd(x, y));
+  EXPECT_NE(add, expr::structuralHash(ctx.mkSub(x, y)));
+  EXPECT_NE(add, expr::structuralHash(ctx.mkAdd(x, x)));
+  // Different variable names are different queries.
+  EXPECT_NE(expr::structuralHash(x), expr::structuralHash(y));
+  // Same name at a different width is a different query (built in a second
+  // Context; reusing a name at a different sort within one is a PugError).
+  Context wide;
+  EXPECT_NE(expr::structuralHash(x),
+            expr::structuralHash(wide.var("x", Sort::bv(32))));
+  // Seeds act as independent hash functions.
+  EXPECT_NE(expr::structuralHash(x, 1), expr::structuralHash(x, 2));
+}
+
+TEST(StructuralHashTest, AssertionSetIsOrderInsensitive) {
+  Context ctx;
+  Expr a = ctx.mkUlt(ctx.var("x", Sort::bv(8)), ctx.bvVal(3, 8));
+  Expr b = ctx.mkUlt(ctx.var("y", Sort::bv(8)), ctx.bvVal(5, 8));
+  const std::vector<Expr> ab = {a, b}, ba = {b, a};
+  EXPECT_EQ(expr::structuralHash(ab), expr::structuralHash(ba));
+  const std::vector<Expr> aa = {a, a};
+  EXPECT_NE(expr::structuralHash(ab), expr::structuralHash(aa));
+}
+
+// ---- QueryCache ------------------------------------------------------------
+
+TEST(QueryCacheTest, HitOnIdenticalRepeatedQuery) {
+  smt::QueryCache cache;
+  // Same query built in two different contexts, unsat both times.
+  for (int round = 0; round < 2; ++round) {
+    Context ctx;
+    auto solver = smt::makeCachingSolver(smt::makeZ3Solver(), cache);
+    Expr x = ctx.var("x", Sort::bv(8));
+    solver->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+    solver->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+    EXPECT_EQ(solver->check(), smt::CheckResult::Unsat);
+  }
+  const smt::QueryCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(QueryCacheTest, UnknownIsNeverCached) {
+  smt::QueryCache cache;
+  Context ctx;
+  // MiniSMT answers Unknown on quantified formulas; that must not stick.
+  Expr t = ctx.var("t", Sort::bv(8));
+  Expr a = ctx.var("a", Sort::bv(8));
+  std::vector<Expr> bound = {t};
+  Expr q = ctx.mkForall(bound, ctx.mkUlt(t, a));
+  auto mini = smt::makeCachingSolver(smt::makeMiniSolver(), cache);
+  mini->add(q);
+  EXPECT_EQ(mini->check(), smt::CheckResult::Unknown);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(QueryCacheTest, SatStillProducesAModel) {
+  smt::QueryCache cache;
+  for (int round = 0; round < 2; ++round) {
+    Context ctx;
+    auto solver = smt::makeCachingSolver(smt::makeZ3Solver(), cache);
+    Expr x = ctx.var("x", Sort::bv(8));
+    Expr c = ctx.mkEq(ctx.mkAdd(x, ctx.bvVal(1, 8)), ctx.bvVal(5, 8));
+    solver->add(c);
+    ASSERT_EQ(solver->check(), smt::CheckResult::Sat);
+    // Even on the cache-hit round the model must be real and satisfying.
+    auto m = solver->model();
+    EXPECT_EQ(m->evalBv(x), 4u);
+  }
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(QueryCacheTest, SaveAndLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "pugpara_qcache_test.txt";
+  smt::QueryCache cache;
+  {
+    Context ctx;
+    auto solver = smt::makeCachingSolver(smt::makeZ3Solver(), cache);
+    Expr x = ctx.var("x", Sort::bv(8));
+    solver->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+    solver->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+    EXPECT_EQ(solver->check(), smt::CheckResult::Unsat);
+  }
+  ASSERT_TRUE(cache.save(path));
+
+  smt::QueryCache fresh;
+  ASSERT_TRUE(fresh.load(path));
+  EXPECT_EQ(fresh.size(), cache.size());
+  {
+    // The reloaded cache short-circuits the same query: no backend needed.
+    Context ctx;
+    auto solver = smt::makeCachingSolver(smt::makeZ3Solver(), fresh);
+    Expr x = ctx.var("x", Sort::bv(8));
+    solver->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+    solver->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+    EXPECT_EQ(solver->check(), smt::CheckResult::Unsat);
+  }
+  EXPECT_EQ(fresh.stats().hits, 1u);
+  std::remove(path.c_str());
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+TEST(EngineTest, BatchResultsDeterministicAcrossJobCounts) {
+  VerificationSession s(combinedSource({"vecAdd", "racyHistogram"}, 8));
+  const std::vector<CheckRequest> reqs = smallBatch();
+
+  std::vector<Outcome> baseline;
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    EngineOptions eo;
+    eo.jobs = jobs;
+    VerificationEngine eng(eo);
+    const std::vector<CheckResult> rs = eng.runAll(s, reqs);
+    ASSERT_EQ(rs.size(), reqs.size());
+    // Results arrive in request order with the request's identity echoed.
+    for (size_t i = 0; i < rs.size(); ++i) {
+      EXPECT_EQ(rs[i].kind, reqs[i].kind);
+      EXPECT_EQ(rs[i].kernel, reqs[i].kernel);
+    }
+    if (jobs == 1) {
+      baseline = outcomes(rs);
+      // Sanity: the batch has real content, not six Unsupported.
+      EXPECT_EQ(rs[3].report.outcome, Outcome::BugFound) << rs[3].label();
+      EXPECT_EQ(rs[0].report.outcome, Outcome::Verified) << rs[0].label();
+    } else {
+      EXPECT_EQ(outcomes(rs), baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(EngineTest, SharedCacheHitsAcrossIdenticalChecks) {
+  VerificationSession s(combinedSource({"vecAdd"}, 8));
+  CheckRequest r;
+  r.kind = CheckKind::Races;
+  r.kernel = "vecAdd";
+  r.options = fastOpts();
+  const std::vector<CheckRequest> reqs = {r, r};  // identical twice
+
+  VerificationEngine eng;
+  const std::vector<CheckResult> rs = eng.runAll(s, reqs);
+  EXPECT_EQ(rs[0].report.outcome, Outcome::Verified) << rs[0].report.str();
+  EXPECT_EQ(rs[1].report.outcome, rs[0].report.outcome);
+  EXPECT_GE(eng.cache().stats().hits, 1u) << "second run must hit the cache";
+}
+
+TEST(EngineTest, PerCheckDeadlineSurfacesUnknownWithoutPoisoningSiblings) {
+  VerificationSession s(combinedSource({"vecAdd", "racyHistogram"}, 8));
+
+  CheckRequest hard;  // real check, absurd deadline: must come back Unknown
+  hard.kind = CheckKind::Races;
+  hard.kernel = "racyHistogram";
+  hard.options = fastOpts();
+  hard.deadlineMs = 1;
+
+  CheckRequest easy;  // no deadline: must be unaffected by the sibling
+  easy.kind = CheckKind::Races;
+  easy.kernel = "vecAdd";
+  easy.options = fastOpts();
+
+  EngineOptions eo;
+  eo.jobs = 2;
+  VerificationEngine eng(eo);
+  const std::vector<CheckRequest> reqs = {hard, easy};
+  const std::vector<CheckResult> rs = eng.runAll(s, reqs);
+  EXPECT_EQ(rs[0].report.outcome, Outcome::Unknown) << rs[0].report.str();
+  EXPECT_EQ(rs[1].report.outcome, Outcome::Verified) << rs[1].report.str();
+}
+
+TEST(EngineTest, UnknownKernelDoesNotPoisonBatch) {
+  VerificationSession s(combinedSource({"vecAdd"}, 8));
+  CheckRequest bad;
+  bad.kind = CheckKind::Races;
+  bad.kernel = "noSuchKernel";
+  bad.options = fastOpts();
+  CheckRequest good;
+  good.kind = CheckKind::Races;
+  good.kernel = "vecAdd";
+  good.options = fastOpts();
+
+  VerificationEngine eng;
+  const std::vector<CheckRequest> reqs = {bad, good};
+  const std::vector<CheckResult> rs = eng.runAll(s, reqs);
+  EXPECT_EQ(rs[0].report.outcome, Outcome::Unsupported);
+  EXPECT_EQ(rs[1].report.outcome, Outcome::Verified) << rs[1].report.str();
+}
+
+TEST(EngineTest, CancelAllDrainsBatchAsUnknown) {
+  VerificationSession s(combinedSource({"vecAdd", "racyHistogram"}, 8));
+  VerificationEngine eng;
+  eng.cancelAll();  // cancelled before the batch: every check drains fast
+  const std::vector<CheckRequest> reqs = smallBatch();
+  const std::vector<CheckResult> rs = eng.runAll(s, reqs);
+  for (const auto& r : rs)
+    EXPECT_NE(r.report.outcome, Outcome::BugFound) << r.label();
+}
+
+TEST(EngineTest, SessionRunMatchesDeprecatedWrappers) {
+  VerificationSession s(combinedSource({"racyHistogram"}, 8));
+  CheckRequest r;
+  r.kind = CheckKind::Races;
+  r.kernel = "racyHistogram";
+  r.options = fastOpts();
+  const CheckResult viaRun = s.run(r);
+  const check::Report viaWrapper = s.races("racyHistogram", fastOpts());
+  EXPECT_EQ(viaRun.report.outcome, viaWrapper.outcome);
+  EXPECT_EQ(viaRun.report.detail, viaWrapper.detail);
+  EXPECT_EQ(viaRun.label(), "races(racyHistogram)");
+}
+
+TEST(EngineTest, ResultJsonIsWellFormed) {
+  VerificationSession s(combinedSource({"racyHistogram"}, 8));
+  CheckRequest r;
+  r.kind = CheckKind::Races;
+  r.kernel = "racyHistogram";
+  r.options = fastOpts();
+  const std::string j = s.run(r).json();
+  // Structural spot-checks (no JSON parser in-tree by design).
+  EXPECT_NE(j.find("\"kind\":\"races\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"outcome\":\"bug-found\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"counterexamples\":["), std::string::npos) << j;
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'))
+      << j;
+}
+
+// ---- Portfolio -------------------------------------------------------------
+
+TEST(PortfolioTest, AgreesWithEachBackendOnGroundTruth) {
+  // The smt_test fixtures, re-posed to the portfolio: the answer must match
+  // both backends wherever they are definitive.
+  Context ctx;
+  Expr x = ctx.var("x", Sort::bv(8));
+
+  auto sat = engine::makePortfolioSolver();
+  sat->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  EXPECT_EQ(sat->check(), smt::CheckResult::Sat);
+  auto m = sat->model();
+  EXPECT_LT(m->evalBv(x), 10u);
+
+  auto unsat = engine::makePortfolioSolver();
+  unsat->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  unsat->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+  EXPECT_EQ(unsat->check(), smt::CheckResult::Unsat);
+}
+
+TEST(PortfolioTest, ArrayTheoryUnsat) {
+  Context ctx;
+  Sort arr = Sort::array(16, 16);
+  Expr a = ctx.var("a", arr);
+  Expr i = ctx.var("i", Sort::bv(16));
+  Expr j = ctx.var("j", Sort::bv(16));
+  auto s = engine::makePortfolioSolver();
+  Expr st = ctx.mkStore(a, i, ctx.bvVal(5, 16));
+  s->add(ctx.mkEq(i, j));
+  s->add(ctx.mkNe(ctx.mkSelect(st, j), ctx.bvVal(5, 16)));
+  EXPECT_EQ(s->check(), smt::CheckResult::Unsat);
+}
+
+TEST(PortfolioTest, QuantifiedFormulaFallsThroughToZ3) {
+  // MiniSMT answers Unknown on quantifiers; the portfolio must wait for
+  // Z3's definitive answer instead of reporting the loser's Unknown.
+  Context ctx;
+  Expr t = ctx.var("t", Sort::bv(8));
+  Expr a = ctx.var("a", Sort::bv(8));
+  Expr f = ctx.mkMul(ctx.bvVal(2, 8), t);
+  Expr c = ctx.mkUlt(t, ctx.bvVal(4, 8));
+  std::vector<Expr> bound = {t};
+  Expr noWriter =
+      ctx.mkForall(bound, ctx.mkNot(ctx.mkAnd(ctx.mkEq(a, f), c)));
+  auto s = engine::makePortfolioSolver();
+  s->add(ctx.mkEq(a, ctx.bvVal(1, 8)));
+  s->add(ctx.mkNot(noWriter));
+  EXPECT_EQ(s->check(), smt::CheckResult::Unsat);
+}
+
+TEST(PortfolioTest, PushPopAndReuse) {
+  Context ctx;
+  Expr x = ctx.var("x", Sort::bv(8));
+  auto s = engine::makePortfolioSolver();
+  s->add(ctx.mkEq(x, ctx.bvVal(3, 8)));
+  s->push();
+  s->add(ctx.mkEq(x, ctx.bvVal(4, 8)));
+  EXPECT_EQ(s->check(), smt::CheckResult::Unsat);
+  s->pop();
+  EXPECT_EQ(s->check(), smt::CheckResult::Sat);
+}
+
+TEST(PortfolioTest, EnginePortfolioModeAgreesWithSingleBackends) {
+  VerificationSession s(combinedSource({"vecAdd", "racyHistogram"}, 8));
+  std::vector<CheckRequest> reqs;
+  for (const char* k : {"vecAdd", "racyHistogram"}) {
+    CheckRequest r;
+    r.kind = CheckKind::Races;
+    r.kernel = k;
+    r.options = fastOpts();
+    reqs.push_back(std::move(r));
+  }
+
+  EngineOptions plain;
+  VerificationEngine engPlain(plain);
+  const std::vector<Outcome> base = outcomes(engPlain.runAll(s, reqs));
+
+  EngineOptions port;
+  port.portfolio = true;
+  port.jobs = 2;
+  VerificationEngine engPort(port);
+  EXPECT_EQ(outcomes(engPort.runAll(s, reqs)), base);
+}
+
+}  // namespace
+}  // namespace pugpara

@@ -1,24 +1,35 @@
 // pugpara — command-line driver for the PUGpara checkers.
 //
-//   pugpara FILE [--list] [--dump AST]
+//   pugpara FILE [--list] [--dump]
 //   pugpara FILE --postcond K | --asserts K | --races K | --perf K
 //   pugpara FILE --equiv A B
-//   common flags: --method param|bughunt|nonparam|auto   (default: param)
+//   pugpara FILE --all                 (races+asserts+postcond, every kernel)
+// common flags:   --method param|bughunt|nonparam|auto   (default: param)
 //                 --width N                              (default: 16)
 //                 --backend z3|mini                      (default: z3)
 //                 --grid GX,GY,BX,BY,BZ   (enables the nonparam method)
 //                 --concretize name=value (repeatable; "+C" knob)
 //                 --timeout MS            (default: 60000)
 //                 --no-replay
+// engine flags:   --jobs N      worker threads for batches (0 = auto, default 1)
+//                 --portfolio   race Z3 vs MiniSMT per query, first answer wins
+//                 --json        machine-readable results on stdout
+//                 --deadline MS per-check wall-clock budget (overruns -> unknown)
+//                 --cache FILE  persistent solver-query cache (loaded+saved)
 //
 // Exit code: 0 verified / no bug found, 1 bug found, 2 unknown, 3 usage or
 // front-end error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "check/session.h"
+#include "engine/engine.h"
 #include "lang/ast_printer.h"
 
 namespace {
@@ -27,16 +38,17 @@ using namespace pugpara;
 
 void usage() {
   std::fprintf(stderr,
-               "usage: pugpara FILE [--list|--dump] "
+               "usage: pugpara FILE [--list|--dump] [--all] "
                "[--postcond K|--asserts K|--races K|--perf K|--equiv A B]\n"
                "       [--method param|bughunt|nonparam|auto] [--width N]\n"
                "       [--backend z3|mini] [--grid GX,GY,BX,BY,BZ]\n"
                "       [--concretize name=value]... [--timeout MS] "
-               "[--no-replay]\n");
+               "[--no-replay]\n"
+               "       [--jobs N] [--portfolio] [--json] [--deadline MS] "
+               "[--cache FILE]\n");
 }
 
 int outcomeCode(const check::Report& r) {
-  std::printf("%s\n", r.str().c_str());
   switch (r.outcome) {
     case check::Outcome::Verified:
     case check::Outcome::NoBugFound:
@@ -72,6 +84,11 @@ int main(int argc, char** argv) {
   Action action = Action::Summary;
   std::string k1, k2;
 
+  engine::EngineOptions eopts;
+  bool jsonOut = false;
+  uint32_t deadlineMs = 0;
+  std::string cachePath;
+
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> std::string {
@@ -81,8 +98,21 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto nextNum = [&](const char* what) -> uint64_t {
+      const std::string v = next(what);
+      try {
+        size_t pos = 0;
+        const uint64_t n = std::stoull(v, &pos);
+        if (pos == v.size()) return n;
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "pugpara: %s expects a number, got '%s'\n", what,
+                   v.c_str());
+      std::exit(3);
+    };
     if (arg == "--list") action = Action::List;
     else if (arg == "--dump") action = Action::Dump;
+    else if (arg == "--all") action = Action::Summary;
     else if (arg == "--postcond") { action = Action::Postcond; k1 = next("--postcond"); }
     else if (arg == "--asserts") { action = Action::Asserts; k1 = next("--asserts"); }
     else if (arg == "--races") { action = Action::Races; k1 = next("--races"); }
@@ -99,7 +129,7 @@ int main(int argc, char** argv) {
       else if (m == "auto") opts.method = check::Method::Auto;
       else { usage(); return 3; }
     } else if (arg == "--width") {
-      opts.width = static_cast<uint32_t>(std::stoul(next("--width")));
+      opts.width = static_cast<uint32_t>(nextNum("--width"));
     } else if (arg == "--backend") {
       const std::string b = next("--backend");
       if (b == "z3") opts.backend = smt::Backend::Z3;
@@ -121,12 +151,31 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "pugpara: --concretize expects name=value\n");
         return 3;
       }
-      opts.concretize[kv.substr(0, eq)] = std::stoull(kv.substr(eq + 1));
+      const std::string val = kv.substr(eq + 1);
+      try {
+        size_t pos = 0;
+        opts.concretize[kv.substr(0, eq)] = std::stoull(val, &pos);
+        if (pos != val.size()) throw std::invalid_argument(val);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "pugpara: --concretize expects name=value, got '%s'\n",
+                     kv.c_str());
+        return 3;
+      }
     } else if (arg == "--timeout") {
-      opts.solverTimeoutMs =
-          static_cast<uint32_t>(std::stoul(next("--timeout")));
+      opts.solverTimeoutMs = static_cast<uint32_t>(nextNum("--timeout"));
     } else if (arg == "--no-replay") {
       opts.replayCounterexamples = false;
+    } else if (arg == "--jobs") {
+      eopts.jobs = static_cast<unsigned>(nextNum("--jobs"));
+    } else if (arg == "--portfolio") {
+      eopts.portfolio = true;
+    } else if (arg == "--json") {
+      jsonOut = true;
+    } else if (arg == "--deadline") {
+      deadlineMs = static_cast<uint32_t>(nextNum("--deadline"));
+    } else if (arg == "--cache") {
+      cachePath = next("--cache");
     } else {
       std::fprintf(stderr, "pugpara: unknown flag '%s'\n", arg.c_str());
       usage();
@@ -148,32 +197,93 @@ int main(int argc, char** argv) {
         for (const auto& k : session.program().kernels)
           std::printf("%s\n", lang::printKernel(*k).c_str());
         return 0;
-      case Action::Postcond:
-        return outcomeCode(session.postconditions(k1, opts));
-      case Action::Asserts:
-        return outcomeCode(session.asserts(k1, opts));
-      case Action::Races:
-        return outcomeCode(session.races(k1, opts));
-      case Action::Perf:
-        return outcomeCode(session.performance(k1, opts));
-      case Action::Equiv:
-        return outcomeCode(session.equivalence(k1, k2, opts));
-      case Action::Summary: {
-        // Default: postconditions + asserts + races for every kernel.
-        int worst = 0;
+      default:
+        break;
+    }
+
+    // Every checking action runs through the engine: build the batch, run
+    // it on the worker pool, print in deterministic request order.
+    std::vector<check::CheckRequest> requests;
+    auto push = [&](check::CheckKind kind, const std::string& a,
+                    const std::string& b = "") {
+      check::CheckRequest r;
+      r.kind = kind;
+      r.kernel = a;
+      r.kernel2 = b;
+      r.options = opts;
+      r.deadlineMs = deadlineMs;
+      requests.push_back(std::move(r));
+    };
+    switch (action) {
+      case Action::Postcond: push(check::CheckKind::Postconditions, k1); break;
+      case Action::Asserts: push(check::CheckKind::Asserts, k1); break;
+      case Action::Races: push(check::CheckKind::Races, k1); break;
+      case Action::Perf: push(check::CheckKind::Performance, k1); break;
+      case Action::Equiv: push(check::CheckKind::Equivalence, k1, k2); break;
+      case Action::Summary:
         for (const auto& k : session.program().kernels) {
-          std::printf("== %s ==\n", k->name.c_str());
-          std::printf("  races:    ");
-          worst = std::max(worst, outcomeCode(session.races(k->name, opts)));
-          std::printf("  asserts:  ");
-          worst = std::max(worst, outcomeCode(session.asserts(k->name, opts)));
-          std::printf("  postcond: ");
-          worst = std::max(worst,
-                           outcomeCode(session.postconditions(k->name, opts)));
+          push(check::CheckKind::Races, k->name);
+          push(check::CheckKind::Asserts, k->name);
+          push(check::CheckKind::Postconditions, k->name);
         }
-        return worst;
+        break;
+      default:
+        break;
+    }
+
+    eopts.cache = std::make_shared<smt::QueryCache>();
+    if (!cachePath.empty()) eopts.cache->load(cachePath);
+
+    engine::VerificationEngine engine(eopts);
+    std::vector<check::CheckResult> results =
+        engine.runAll(session, requests);
+
+    int worst = 0;
+    if (jsonOut) {
+      std::printf("{\"results\":[");
+      for (size_t i = 0; i < results.size(); ++i) {
+        std::printf("%s%s", i ? "," : "", results[i].json().c_str());
+        worst = std::max(worst, outcomeCode(results[i].report));
+      }
+      const smt::QueryCache::Stats cs = engine.cache().stats();
+      std::printf(
+          "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"cacheHits\":%llu,"
+          "\"cacheMisses\":%llu}}\n",
+          eopts.jobs, eopts.portfolio ? "true" : "false",
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.misses));
+    } else if (action == Action::Summary) {
+      // Grouped per kernel, three properties per group (request order).
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (i % 3 == 0)
+          std::printf("== %s ==\n", results[i].kernel.c_str());
+        const char* tag = i % 3 == 0   ? "races:   "
+                          : i % 3 == 1 ? "asserts: "
+                                       : "postcond:";
+        std::printf("  %s %s\n", tag, results[i].report.str().c_str());
+        worst = std::max(worst, outcomeCode(results[i].report));
+      }
+    } else {
+      for (const auto& r : results) {
+        std::printf("%s\n", r.report.str().c_str());
+        worst = std::max(worst, outcomeCode(r.report));
       }
     }
+
+    if (!jsonOut && (requests.size() > 1 || !cachePath.empty())) {
+      const smt::QueryCache::Stats cs = engine.cache().stats();
+      std::fprintf(stderr,
+                   "pugpara: engine: %zu checks, jobs=%u%s, cache: %llu "
+                   "hit(s), %llu miss(es)\n",
+                   requests.size(), eopts.jobs,
+                   eopts.portfolio ? ", portfolio" : "",
+                   static_cast<unsigned long long>(cs.hits),
+                   static_cast<unsigned long long>(cs.misses));
+    }
+    if (!cachePath.empty() && !engine.cache().save(cachePath))
+      std::fprintf(stderr, "pugpara: warning: cannot write cache '%s'\n",
+                   cachePath.c_str());
+    return worst;
   } catch (const PugError& e) {
     std::fprintf(stderr, "pugpara: %s\n", e.what());
     return 3;
