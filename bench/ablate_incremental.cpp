@@ -1,0 +1,216 @@
+// Ablation E: incremental solving (one long-lived solver per barrier
+// interval, shared prefix asserted once, every pair query posed through
+// checkAssuming) versus the pre-incremental baseline of a fresh solver per
+// query. Two claims, measured separately:
+//
+//  * Speedup — on race checks that pose several pair queries per interval
+//    (the quadratic access-pair flood incremental solving exists for), the
+//    long-lived solver must be at least ~2x faster on at least one backend.
+//    Kernels whose whole race check is a single hard query are excluded
+//    from the timing aggregate: both modes pose the identical one query
+//    there (the checker falls back to the fresh path below the reuse
+//    threshold), so they only dilute the ratio with equal noise.
+//  * Agreement — on the FULL corpus plus injected-bug mutants, both modes
+//    must return identical verdicts on both backends. A mode that is fast
+//    because it misses races (or invents them) must fail here.
+//
+// Emits BENCH_incremental.json next to the table for machine consumption.
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels/mutate.h"
+#include "support/json.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace pugpara;
+using namespace pugpara::bench;
+
+struct Task {
+  std::string label;  // display + JSON name
+  const check::VerificationSession* session;
+  std::string kernel;  // kernel to race-check inside `session`
+  uint32_t width;
+};
+
+struct ModeRun {
+  double solveSeconds = 0;
+  std::vector<check::Outcome> outcomes;
+  std::vector<double> taskSeconds;
+};
+
+ModeRun runMode(const std::vector<Task>& tasks, smt::Backend backend,
+                bool incremental) {
+  std::vector<engine::BoundCheck> checks;
+  for (const Task& t : tasks) {
+    check::CheckOptions o;
+    o.method = check::Method::Parameterized;
+    o.width = t.width;
+    o.backend = backend;
+    o.solverTimeoutMs = timeoutMs();
+    o.replayCounterexamples = false;
+    o.incrementalSolving = incremental;
+    checks.push_back(
+        {t.session, {check::CheckKind::Races, t.kernel, "", o, {}, 0}});
+  }
+  engine::VerificationEngine eng(benchEngineOptions());
+  std::vector<check::CheckResult> results = eng.runAll(checks);
+  ModeRun run;
+  for (const check::CheckResult& r : results) {
+    run.solveSeconds += r.report.solveSeconds;
+    run.outcomes.push_back(r.report.outcome);
+    run.taskSeconds.push_back(r.report.solveSeconds);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: incremental vs fresh-per-query solving "
+              "(parameterized race checks)\n\n");
+
+  // Sessions live for the whole run; tasks reference into them.
+  std::vector<std::unique_ptr<check::VerificationSession>> sessions;
+  auto corpusSession = [&](uint32_t width) {
+    std::vector<std::string> names;
+    for (const auto& e : kernels::corpus()) names.push_back(e.name);
+    sessions.push_back(std::make_unique<check::VerificationSession>(
+        kernels::combinedSource(names, width)));
+    return sessions.back().get();
+  };
+  struct MutantSpec {
+    const char* base;
+    kernels::MutationKind kind;
+    size_t site;
+  };
+  const MutantSpec mutantSpecs[] = {
+      {"transposeOpt", kernels::MutationKind::AddressOffByOne, 3},
+      {"reduceStrided", kernels::MutationKind::AddressOffByOne, 2},
+  };
+  auto mutantTask = [&](const MutantSpec& m, uint32_t width) {
+    auto prog =
+        lang::parseAndAnalyze(kernels::combinedSource({m.base}, width));
+    auto mutant = kernels::mutateAt(*prog->kernels[0], m.kind, m.site);
+    std::string mutantName = mutant.kernel->name;
+    prog->kernels.push_back(std::move(mutant.kernel));
+    sessions.push_back(
+        std::make_unique<check::VerificationSession>(std::move(prog)));
+    return Task{std::string(m.base) + "+bug", sessions.back().get(),
+                mutantName, width};
+  };
+
+  // Speedup workload: every corpus kernel whose race analysis floods the
+  // solver with pair queries (several conditional accesses per interval),
+  // at the paper's default 16-bit width, plus the racy reduceStrided
+  // mutant (whose Sat weak-overlap queries trigger refinement queries).
+  // The remaining corpus kernels pose one query per interval, and the
+  // transposeOpt mutant spends its whole budget inside one hard
+  // multiplication query — neither leaves anything to amortize, so they
+  // live in the agreement set only.
+  const check::VerificationSession* speed16 = corpusSession(16);
+  std::vector<Task> speedTasks;
+  for (const char* name : {"reduceMod", "reduceStrided", "reduceSequential",
+                           "scanNaive", "scalarProd", "racyHistogram"})
+    speedTasks.push_back({name, speed16, name, 16});
+  speedTasks.push_back(mutantTask(mutantSpecs[1], 8));
+
+  // Agreement workload: the full corpus at 8 bits (wide enough to decide,
+  // narrow enough that the single-hard-query kernels finish) plus the
+  // mutants again.
+  const check::VerificationSession* agree8 = corpusSession(8);
+  std::vector<Task> agreeTasks;
+  for (const auto& e : kernels::corpus())
+    agreeTasks.push_back({e.name, agree8, e.name, 8});
+  for (const MutantSpec& m : mutantSpecs)
+    agreeTasks.push_back(mutantTask(m, 8));
+
+  const bool verbose = std::getenv("PUGPARA_BENCH_VERBOSE") != nullptr;
+  printRow("Backend", {"fresh (s)", "incr (s)", "speedup", "verdicts"});
+  bool allAgree = true;
+  double bestSpeedup = 0;
+  std::string jsonBackends;
+  for (smt::Backend backend : {smt::Backend::Z3, smt::Backend::Mini}) {
+    const char* bname = backend == smt::Backend::Z3 ? "Z3" : "MiniSMT";
+    const ModeRun sFresh = runMode(speedTasks, backend, false);
+    const ModeRun sIncr = runMode(speedTasks, backend, true);
+    const ModeRun aFresh = runMode(agreeTasks, backend, false);
+    const ModeRun aIncr = runMode(agreeTasks, backend, true);
+
+    const bool agree = sFresh.outcomes == sIncr.outcomes &&
+                       aFresh.outcomes == aIncr.outcomes;
+    allAgree = allAgree && agree;
+    const double speedup = sIncr.solveSeconds > 0
+                               ? sFresh.solveSeconds / sIncr.solveSeconds
+                               : 0;
+    bestSpeedup = std::max(bestSpeedup, speedup);
+    char fs[32], is[32], sp[32];
+    std::snprintf(fs, sizeof fs, "%.3f", sFresh.solveSeconds);
+    std::snprintf(is, sizeof is, "%.3f", sIncr.solveSeconds);
+    std::snprintf(sp, sizeof sp, "%.2fx", speedup);
+    printRow(bname, {fs, is, sp, agree ? "agree" : "DISAGREE"});
+    if (verbose)
+      for (size_t i = 0; i < speedTasks.size(); ++i)
+        std::printf("  %-22s fresh %7.3fs  incr %7.3fs\n",
+                    speedTasks[i].label.c_str(), sFresh.taskSeconds[i],
+                    sIncr.taskSeconds[i]);
+    auto reportDisagreements = [&](const std::vector<Task>& tasks,
+                                   const ModeRun& f, const ModeRun& i2) {
+      for (size_t i = 0; i < tasks.size(); ++i)
+        if (f.outcomes[i] != i2.outcomes[i])
+          std::printf("  %s (w=%u): fresh=%s incremental=%s\n",
+                      tasks[i].label.c_str(), tasks[i].width,
+                      check::toString(f.outcomes[i]),
+                      check::toString(i2.outcomes[i]));
+    };
+    if (!agree) {
+      reportDisagreements(speedTasks, sFresh, sIncr);
+      reportDisagreements(agreeTasks, aFresh, aIncr);
+    }
+
+    std::string perTask;
+    for (size_t i = 0; i < agreeTasks.size(); ++i) {
+      if (i != 0) perTask += ",";
+      perTask += "{\"task\":" + json::quote(agreeTasks[i].label) +
+                 ",\"fresh\":" +
+                 json::quote(check::toString(aFresh.outcomes[i])) +
+                 ",\"incremental\":" +
+                 json::quote(check::toString(aIncr.outcomes[i])) + "}";
+    }
+    if (!jsonBackends.empty()) jsonBackends += ",";
+    jsonBackends += "{\"backend\":" + json::quote(bname) +
+                    ",\"fresh_solve_seconds\":" +
+                    json::number(sFresh.solveSeconds) +
+                    ",\"incremental_solve_seconds\":" +
+                    json::number(sIncr.solveSeconds) +
+                    ",\"speedup\":" + json::number(speedup) +
+                    ",\"verdicts_agree\":" + (agree ? "true" : "false") +
+                    ",\"corpus_verdicts\":[" + perTask + "]}";
+  }
+
+  std::string out =
+      "{\"bench\":\"incremental\",\"speedup_width\":16,"
+      "\"agreement_width\":8,\"timeout_ms\":" +
+      std::to_string(timeoutMs()) + ",\"jobs\":" +
+      std::to_string(benchJobs()) + ",\"speedup_tasks\":" +
+      std::to_string(speedTasks.size()) + ",\"agreement_tasks\":" +
+      std::to_string(agreeTasks.size()) + ",\"backends\":[" + jsonBackends +
+      "]}";
+  if (std::FILE* f = std::fopen("BENCH_incremental.json", "w")) {
+    std::fprintf(f, "%s\n", out.c_str());
+    std::fclose(f);
+    std::printf("\nwrote BENCH_incremental.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_incremental.json\n");
+  }
+
+  std::printf("best speedup: %.2fx; verdicts %s\n", bestSpeedup,
+              allAgree ? "agree on every task (both backends)"
+                       : "DISAGREE — incremental mode is unsound or stale");
+  // CI contract: identical verdicts are a hard failure if violated. The
+  // 2x speedup target is reported but not asserted (machine-load
+  // dependent); BENCH_incremental.json carries the measurement.
+  return allAgree ? 0 : 1;
+}

@@ -16,6 +16,11 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
+echo "== tier-1: incremental-solving ablation (verdict agreement + speedup) =="
+# Fails when incremental and fresh-per-query modes disagree on any verdict;
+# also emits BENCH_incremental.json with the measured speedups.
+(cd build && ./bench/ablate_incremental)
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan stage skipped (--skip-tsan) =="
   exit 0

@@ -42,6 +42,13 @@ struct CheckOptions {
   /// equations instead of substituted store chains (see EncodeOptions).
   bool ssaEquations = false;
 
+  /// Incremental solving: the checkers keep one solver alive per barrier
+  /// interval (or VC batch), assert the shared prefix once and pose each
+  /// query through checkAssuming(). Off = the pre-incremental behavior of
+  /// one fresh solver per query (kept for the ablation bench and for
+  /// verdict cross-checks; both modes must agree on every corpus kernel).
+  bool incrementalSolving = true;
+
   /// Validate counterexamples by concrete replay in the VM (on by default;
   /// this is what keeps bug-hunt mode's reports real).
   bool replayCounterexamples = true;

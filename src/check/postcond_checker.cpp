@@ -28,12 +28,26 @@ Report solveParamVcs(const lang::Kernel& kernel, expr::Context& ctx,
   const uint32_t width = options.width;
 
   bool anyUnknown = false;
+  // Incremental mode: one solver serves the whole VC batch (the VCs share
+  // summary subterms); each VC is a single self-retracting assumption.
+  std::unique_ptr<smt::Solver> shared;
+  if (options.incrementalSolving) {
+    shared = options.makeSolver();
+    shared->setTimeoutMs(options.solverTimeoutMs);
+  }
   for (const auto& vc : vcs.vcs) {
-    auto solver = options.makeSolver();
-    solver->setTimeoutMs(options.solverTimeoutMs);
-    solver->add(vc.formula);
+    std::unique_ptr<smt::Solver> fresh;
+    if (shared == nullptr) {
+      fresh = options.makeSolver();
+      fresh->setTimeoutMs(options.solverTimeoutMs);
+      fresh->add(vc.formula);
+    }
+    smt::Solver* solver = shared != nullptr ? shared.get() : fresh.get();
     WallTimer solve;
-    smt::CheckResult r = solver->check();
+    smt::CheckResult r =
+        shared != nullptr
+            ? solver->checkAssuming(std::span<const Expr>(&vc.formula, 1))
+            : solver->check();
     report.solveSeconds += solve.seconds();
     if (r == smt::CheckResult::Unknown) {
       anyUnknown = true;

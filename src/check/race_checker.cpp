@@ -52,46 +52,61 @@ class RaceChecker {
     }
 
     if (report_.outcome != Outcome::BugFound) {
-      report_.outcome = Outcome::Verified;
-      report_.detail = benignOverlaps_ == 0
-                           ? "race-free for any number of threads"
-                           : "no value-changing races; " +
-                                 std::to_string(benignOverlaps_) +
-                                 " benign same-value overlap(s)";
+      if (unknownQueries_ > 0) {
+        // An undecided pair query means the race-freedom claim has a hole;
+        // never silently fold it into "race-free".
+        report_.outcome = Outcome::Unknown;
+        report_.detail = std::to_string(unknownQueries_) +
+                         " pair quer" + (unknownQueries_ == 1 ? "y" : "ies") +
+                         " undecided (timeout/fragment); race freedom not "
+                         "established";
+      } else {
+        report_.outcome = Outcome::Verified;
+        report_.detail = benignOverlaps_ == 0
+                             ? "race-free for any number of threads"
+                             : "no value-changing races; " +
+                                   std::to_string(benignOverlaps_) +
+                                   " benign same-value overlap(s)";
+      }
     }
     report_.totalSeconds = total.seconds();
     return report_;
   }
 
  private:
-  struct Instantiated {
+  /// A symbolic thread bound to one side of every pair query, with the
+  /// substitution that maps canonical-thread summaries onto it
+  /// (thread-local temporaries re-freshened per instance).
+  struct Instance {
     para::ThreadInstance inst;
-    Expr guard, addr, value;
+    expr::SubstMap map;
   };
 
-  Instantiated instantiate(const ConditionalAssignment& ca,
-                           const char* hint) {
-    para::ThreadInstance inst = para::ThreadInstance::fresh(
-        ctx_, cfg_, sum_.width, std::string("rc_") + hint);
+  /// A conditional access (write or read) substituted onto an instance.
+  struct Access {
+    Expr guard, addr, value;  // value stays null for reads
+  };
+
+  Instance makeInstance(const std::string& hint) {
+    para::ThreadInstance inst =
+        para::ThreadInstance::fresh(ctx_, cfg_, sum_.width, "rc_" + hint);
     expr::SubstMap m = inst.substFrom(sum_.canonical);
     for (Expr tl : sum_.threadLocalFresh)
-      m.emplace(tl.node(), ctx_.freshVar(tl.varName() + "_rc", tl.sort()));
-    return {inst, expr::substitute(ca.guard, m),
-            expr::substitute(ca.addr, m),
-            ca.value.isNull() ? Expr() : expr::substitute(ca.value, m)};
+      m.emplace(tl.node(),
+                ctx_.freshVar(tl.varName() + "_" + hint, tl.sort()));
+    return {inst, std::move(m)};
   }
 
-  /// Sat-checks `constraint` under the kernel assumptions; on Sat, records a
-  /// finding with the witness threads.
-  bool satisfiable(Expr constraint, double* seconds) {
-    auto solver = options_.makeSolver();
-    solver->setTimeoutMs(options_.solverTimeoutMs);
-    solver->add(sum_.assumptions);
-    solver->add(constraint);
-    WallTimer t;
-    smt::CheckResult r = solver->check();
-    *seconds = t.seconds();
-    return r == smt::CheckResult::Sat;
+  /// One substitution path for both the write and the read side.
+  Access bind(Expr guard, Expr addr, Expr value, const Instance& in) {
+    return {expr::substitute(guard, in.map), expr::substitute(addr, in.map),
+            value.isNull() ? Expr() : expr::substitute(value, in.map)};
+  }
+  Access bind(const ConditionalAssignment& ca, const Instance& in) {
+    return bind(ca.guard, ca.addr, ca.value, in);
+  }
+  Access bind(const para::ReadRecord& rd, const Instance& in) {
+    return bind(rd.guard, rd.addr, Expr(), in);
   }
 
   Expr sameBlock(const para::ThreadInstance& a,
@@ -99,61 +114,119 @@ class RaceChecker {
     return ctx_.mkAnd(ctx_.mkEq(a.bx, b.bx), ctx_.mkEq(a.by, b.by));
   }
 
-  void checkInterval(const para::BiSummary& bi, Expr active) {
-    for (const auto& [array, cas] : bi.cas) {
-      // Write-write: every CA pair, including a CA against itself.
-      for (size_t i = 0; i < cas.size(); ++i) {
-        for (size_t j = i; j < cas.size(); ++j) {
-          Instantiated a = instantiate(cas[i], "w1");
-          Instantiated b = instantiate(cas[j], "w2");
-          Expr overlap = ctx_.mkAnd(
-              ctx_.mkAnd(a.inst.domain, b.inst.domain),
-              ctx_.mkAnd(ctx_.mkAnd(a.guard, b.guard),
-                         ctx_.mkAnd(ctx_.mkEq(a.addr, b.addr),
-                                    a.inst.distinctFrom(b.inst))));
-          if (array->space == MemSpace::Shared)
-            overlap = ctx_.mkAnd(overlap, sameBlock(a.inst, b.inst));
-          overlap = ctx_.mkAnd(overlap, active);
+  /// The per-pair part of a query: both accesses happen and hit the same
+  /// address (same block too, for block-shared memory). Everything
+  /// pair-independent — kernel assumptions, interval activation, thread
+  /// domains, distinctness — lives in the interval prefix instead.
+  Expr overlapAssumption(const Access& x, const Access& y,
+                         const VarDecl* array) {
+    Expr o = ctx_.mkAnd(ctx_.mkAnd(x.guard, y.guard),
+                        ctx_.mkEq(x.addr, y.addr));
+    if (array->space == MemSpace::Shared) o = ctx_.mkAnd(o, sameBlockAb_);
+    return o;
+  }
 
-          double sec = 0;
-          // Value-changing write-write race.
-          if (satisfiable(ctx_.mkAnd(overlap, ctx_.mkNe(a.value, b.value)),
-                          &sec)) {
-            record("write-write race on '" + array->name + "' (" +
-                   cas[i].loc.str() + " vs " + cas[j].loc.str() + ")");
-          } else if (satisfiable(overlap, &sec)) {
-            ++benignOverlaps_;
+  /// Decides prefix ∧ assumptions. Incremental mode poses it as an
+  /// assumption-only query on the interval's long-lived solver; fresh mode
+  /// rebuilds a solver per query (the pre-incremental baseline).
+  smt::CheckResult query(std::initializer_list<Expr> assumptions) {
+    WallTimer t;
+    smt::CheckResult r;
+    if (solver_ != nullptr) {
+      std::vector<Expr> asms(assumptions);
+      r = solver_->checkAssuming(asms);
+    } else {
+      auto s = options_.makeSolver();
+      s->setTimeoutMs(options_.solverTimeoutMs);
+      for (Expr p : prefix_) s->add(p);
+      for (Expr a : assumptions) s->add(a);
+      r = s->check();
+    }
+    report_.solveSeconds += t.seconds();
+    if (r == smt::CheckResult::Unknown) noteUnknown();
+    return r;
+  }
+
+  void noteUnknown() {
+    if (unknownQueries_++ == 0)
+      report_.caveats.push_back(
+          "at least one pair query returned unknown; the verdict is "
+          "downgraded to unknown unless a race is found elsewhere");
+  }
+
+  /// Lower bound on the interval's query count (the weak overlap queries;
+  /// Sat answers add refinement queries on top).
+  static size_t plannedQueries(const para::BiSummary& bi) {
+    size_t n = 0;
+    for (const auto& [array, cas] : bi.cas) {
+      n += cas.size() * (cas.size() + 1) / 2;  // write-write incl. self
+      for (const para::ReadRecord& rd : bi.reads)
+        if (rd.array == array) n += cas.size();
+    }
+    return n;
+  }
+
+  void checkInterval(const para::BiSummary& bi, Expr active) {
+    // Two shared thread instances serve every pair of this interval: the
+    // instances are just symbolic names, and each pair query is an
+    // independent assumption set, so reusing them is sound and lets the
+    // prefix (assumptions + activation + domains + distinctness) be
+    // asserted once per interval instead of once per query.
+    Instance a = makeInstance("a");
+    Instance b = makeInstance("b");
+    sameBlockAb_ = sameBlock(a.inst, b.inst);
+    prefix_ = {sum_.assumptions, active, a.inst.domain, b.inst.domain,
+               a.inst.distinctFrom(b.inst)};
+    solver_.reset();
+    // A long-lived solver pays off through reuse: the prefix is encoded
+    // once and everything learned transfers to the next pair query. An
+    // interval that poses a single query has nothing to reuse — and a
+    // query posed as an assumption is slightly harder than the same
+    // formula asserted outright (learnt clauses drag the assumption
+    // literal along; no top-level simplification) — so such intervals
+    // stay on the fresh-per-query path even in incremental mode.
+    if (options_.incrementalSolving && plannedQueries(bi) >= 2) {
+      solver_ = options_.makeSolver();
+      solver_->setTimeoutMs(options_.solverTimeoutMs);
+      for (Expr p : prefix_) solver_->add(p);
+    }
+
+    for (const auto& [array, cas] : bi.cas) {
+      for (size_t i = 0; i < cas.size(); ++i) {
+        const Access wa = bind(cas[i], a);
+        // Write-write: every CA pair, including a CA against itself.
+        for (size_t j = i; j < cas.size(); ++j) {
+          const Access wb = bind(cas[j], b);
+          const Expr overlap = overlapAssumption(wa, wb, array);
+          // The weak overlap query runs first: disjoint pairs — the common
+          // case — are settled by its single Unsat. Only an overlapping
+          // pair pays for the value-difference refinement, posed as one
+          // extra assumption on the same prefix.
+          if (query({overlap}) != smt::CheckResult::Sat) continue;
+          switch (query({overlap, ctx_.mkNe(wa.value, wb.value)})) {
+            case smt::CheckResult::Sat:
+              record("write-write race on '" + array->name + "' (" +
+                     cas[i].loc.str() + " vs " + cas[j].loc.str() + ")");
+              break;
+            case smt::CheckResult::Unsat:
+              ++benignOverlaps_;
+              break;
+            case smt::CheckResult::Unknown:
+              break;  // counted by query()
           }
-          report_.solveSeconds += sec;
         }
         // Read-write against every recorded read.
         for (const para::ReadRecord& rd : bi.reads) {
           if (rd.array != array) continue;
-          Instantiated w = instantiate(cas[i], "w");
-          para::ThreadInstance r = para::ThreadInstance::fresh(
-              ctx_, cfg_, sum_.width, "rc_r");
-          expr::SubstMap m = r.substFrom(sum_.canonical);
-          for (Expr tl : sum_.threadLocalFresh)
-            m.emplace(tl.node(),
-                      ctx_.freshVar(tl.varName() + "_rcr", tl.sort()));
-          Expr rguard = expr::substitute(rd.guard, m);
-          Expr raddr = expr::substitute(rd.addr, m);
-          Expr overlap = ctx_.mkAnd(
-              ctx_.mkAnd(w.inst.domain, r.domain),
-              ctx_.mkAnd(ctx_.mkAnd(w.guard, rguard),
-                         ctx_.mkAnd(ctx_.mkEq(w.addr, raddr),
-                                    w.inst.distinctFrom(r))));
-          if (array->space == MemSpace::Shared)
-            overlap = ctx_.mkAnd(overlap, sameBlock(w.inst, r));
-          overlap = ctx_.mkAnd(overlap, active);
-          double sec = 0;
-          if (satisfiable(overlap, &sec))
+          const Access rb = bind(rd, b);
+          if (query({overlapAssumption(wa, rb, array)}) ==
+              smt::CheckResult::Sat)
             record("read-write race on '" + array->name + "' (write at " +
                    cas[i].loc.str() + ")");
-          report_.solveSeconds += sec;
         }
       }
     }
+    solver_.reset();
   }
 
   void record(std::string what) {
@@ -169,6 +242,12 @@ class RaceChecker {
   para::KernelSummary sum_;
   Report report_;
   size_t benignOverlaps_ = 0;
+  size_t unknownQueries_ = 0;
+
+  // Per-interval query state (set by checkInterval).
+  std::unique_ptr<smt::Solver> solver_;  // null in fresh-per-query mode
+  std::vector<Expr> prefix_;
+  Expr sameBlockAb_;
 };
 
 }  // namespace

@@ -86,23 +86,13 @@ class GovernedSolver final : public smt::Solver {
   void add(expr::Expr assertion) override { inner_->add(assertion); }
 
   smt::CheckResult check() override {
-    if (cancel_->cancelled.load(std::memory_order_acquire) ||
-        deadline_.expired())
-      return clip();
+    return governed([this]() { return inner_->check(); });
+  }
 
-    uint32_t budget = requestedTimeoutMs_;
-    if (const uint32_t left = deadline_.remainingMs(); left != 0)
-      budget = budget == 0 ? left : std::min(budget, left);
-    inner_->setTimeoutMs(budget);
-
-    cancel_->enter(inner_.get());
-    smt::CheckResult r = inner_->check();
-    cancel_->leave(inner_.get());
-    if (r == smt::CheckResult::Unknown &&
-        (deadline_.enabled ||
-         cancel_->cancelled.load(std::memory_order_acquire)))
-      return clip();
-    return r;
+  smt::CheckResult checkAssuming(
+      std::span<const expr::Expr> assumptions) override {
+    return governed(
+        [this, assumptions]() { return inner_->checkAssuming(assumptions); });
   }
 
   [[nodiscard]] std::unique_ptr<smt::Model> model() override {
@@ -115,6 +105,27 @@ class GovernedSolver final : public smt::Solver {
   [[nodiscard]] std::string name() const override { return inner_->name(); }
 
  private:
+  template <typename CheckFn>
+  smt::CheckResult governed(CheckFn runCheck) {
+    if (cancel_->cancelled.load(std::memory_order_acquire) ||
+        deadline_.expired())
+      return clip();
+
+    uint32_t budget = requestedTimeoutMs_;
+    if (const uint32_t left = deadline_.remainingMs(); left != 0)
+      budget = budget == 0 ? left : std::min(budget, left);
+    inner_->setTimeoutMs(budget);
+
+    cancel_->enter(inner_.get());
+    smt::CheckResult r = runCheck();
+    cancel_->leave(inner_.get());
+    if (r == smt::CheckResult::Unknown &&
+        (deadline_.enabled ||
+         cancel_->cancelled.load(std::memory_order_acquire)))
+      return clip();
+    return r;
+  }
+
   smt::CheckResult clip() {
     clipped_->store(true, std::memory_order_release);
     return smt::CheckResult::Unknown;

@@ -31,6 +31,22 @@ class PortfolioSolver final : public smt::Solver {
   }
 
   CheckResult check() override {
+    return race([](smt::Solver& s) { return s.check(); });
+  }
+
+  // Portfolio mode races fresh backends per query by design (a cancelled
+  // loser is sticky-stopped), so assumptions simply ride along into both
+  // racers' native checkAssuming; there is no cross-query CNF to reuse.
+  CheckResult checkAssuming(
+      std::span<const expr::Expr> assumptions) override {
+    return race([assumptions](smt::Solver& s) {
+      return s.checkAssuming(assumptions);
+    });
+  }
+
+ private:
+  template <typename CheckFn>
+  CheckResult race(CheckFn checkOne) {
     winner_.reset();
     if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
 
@@ -57,7 +73,7 @@ class PortfolioSolver final : public smt::Solver {
     std::mutex raceMu;
     std::condition_variable cv;
     auto run = [&](int i) {
-      CheckResult r = racers[i]->check();
+      CheckResult r = checkOne(*racers[i]);
       {
         std::lock_guard<std::mutex> lock(raceMu);
         results[i] = r;
@@ -92,6 +108,7 @@ class PortfolioSolver final : public smt::Solver {
     return results[win];
   }
 
+ public:
   [[nodiscard]] std::unique_ptr<smt::Model> model() override {
     require(winner_ != nullptr, "PortfolioSolver::model: last check not sat");
     return winner_->model();

@@ -104,11 +104,13 @@ uint64_t structuralHash(Expr e, uint64_t seed) {
 }
 
 uint64_t structuralHash(std::span<const Expr> exprs, uint64_t seed) {
-  // XOR-accumulate the per-assertion digests: insensitive to assertion order
-  // (a conjunction is a set), still sensitive to multiplicity-free content.
+  // Sum the per-assertion digests: insensitive to assertion order (a
+  // conjunction is a set) but never self-cancelling — with XOR, a formula
+  // appearing twice (e.g. once in the asserted prefix and once among the
+  // assumptions of a combined key) would vanish from the digest entirely.
   Hasher hasher(seed);
   uint64_t acc = mix(seed ^ exprs.size());
-  for (Expr e : exprs) acc ^= mix(hasher.hash(e));
+  for (Expr e : exprs) acc += mix(hasher.hash(e));
   return mix(acc);
 }
 

@@ -1,6 +1,9 @@
 #include "smt/mini/array_lower.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "expr/subst.h"
 #include "support/diagnostics.h"
@@ -10,44 +13,84 @@ namespace pugpara::smt::mini {
 using expr::Expr;
 using expr::Kind;
 
-namespace {
-
-class Lowerer {
+class ArrayLowerer::Impl {
  public:
-  explicit Lowerer(expr::Context& ctx) : ctx_(ctx) {}
+  explicit Impl(expr::Context& ctx) : ctx_(ctx) {}
 
-  Expr lower(Expr e) {
+  Expr lower(Expr e, std::vector<Expr>& newConstraints) {
+    touched_.clear();
+    Expr r = lowerRec(e);
+    for (uint32_t j : touched_) {
+      if (isPerm_[j]) continue;
+      for (uint32_t i : permReads_) emitPair(i, j, newConstraints);
+      isPerm_[j] = true;
+      permReads_.push_back(j);
+    }
+    return r;
+  }
+
+  Expr lowerTransient(Expr e, std::vector<Expr>& newConstraints) {
+    touched_.clear();
+    Expr r = lowerRec(e);
+    for (uint32_t j : touched_) {
+      if (isPerm_[j] || inQuery_[j]) continue;
+      for (uint32_t i : permReads_) emitPair(i, j, newConstraints);
+      for (uint32_t i : queryReads_) emitPair(i, j, newConstraints);
+      inQuery_[j] = true;
+      queryReads_.push_back(j);
+    }
+    return r;
+  }
+
+  void beginQuery() {
+    for (uint32_t i : queryReads_) inQuery_[i] = false;
+    queryReads_.clear();
+  }
+
+  [[nodiscard]] const std::vector<AckermannRead>& reads() const {
+    return reads_;
+  }
+
+  [[nodiscard]] bool readActive(size_t i) const {
+    return isPerm_[i] || inQuery_[i];
+  }
+
+ private:
+  /// Functional consistency per base array: equal indices read equal
+  /// values (Ackermann's reduction). Each unordered pair is emitted at
+  /// most once over the lowerer's lifetime.
+  void emitPair(uint32_t i, uint32_t j, std::vector<Expr>& cs) {
+    if (reads_[i].array.node() != reads_[j].array.node()) return;
+    const uint64_t key =
+        (uint64_t{std::min(i, j)} << 32) | uint64_t{std::max(i, j)};
+    if (!emittedPairs_.insert(key).second) return;
+    cs.push_back(ctx_.mkImplies(ctx_.mkEq(reads_[i].index, reads_[j].index),
+                                ctx_.mkEq(reads_[i].value, reads_[j].value)));
+  }
+
+  Expr lowerRec(Expr e) {
     auto it = memo_.find(e.node());
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      // Memo hit: the reads beneath this node are referenced again and
+      // must count as touched by the current formula.
+      auto ru = readsUnder_.find(e.node());
+      if (ru != readsUnder_.end())
+        touched_.insert(touched_.end(), ru->second.begin(), ru->second.end());
+      return it->second;
+    }
+    const size_t touchedBefore = touched_.size();
     Expr r = compute(e);
+    if (touched_.size() > touchedBefore) {
+      std::vector<uint32_t> under(touched_.begin() + touchedBefore,
+                                  touched_.end());
+      std::sort(under.begin(), under.end());
+      under.erase(std::unique(under.begin(), under.end()), under.end());
+      readsUnder_.emplace(e.node(), std::move(under));
+    }
     memo_.emplace(e.node(), r);
     return r;
   }
 
-  ArrayLowering finish(std::vector<Expr> formulas) {
-    ArrayLowering out;
-    out.formulas = std::move(formulas);
-    out.reads = reads_;
-    // Functional consistency per base array: equal indices read equal
-    // values (Ackermann's reduction; quadratic in the read count).
-    std::unordered_map<const expr::Node*, std::vector<size_t>> byArray;
-    for (size_t i = 0; i < reads_.size(); ++i)
-      byArray[reads_[i].array.node()].push_back(i);
-    for (const auto& [arr, idxs] : byArray) {
-      (void)arr;
-      for (size_t i = 0; i < idxs.size(); ++i)
-        for (size_t j = i + 1; j < idxs.size(); ++j) {
-          const AckermannRead& a = reads_[idxs[i]];
-          const AckermannRead& b = reads_[idxs[j]];
-          out.constraints.push_back(
-              ctx_.mkImplies(ctx_.mkEq(a.index, b.index),
-                             ctx_.mkEq(a.value, b.value)));
-        }
-    }
-    return out;
-  }
-
- private:
   Expr compute(Expr e) {
     switch (e.kind()) {
       case Kind::Var:
@@ -55,7 +98,7 @@ class Lowerer {
       case Kind::BvConst:
         return e;
       case Kind::Select:
-        return lowerSelect(e.kid(0), lower(e.kid(1)));
+        return lowerSelect(e.kid(0), lowerRec(e.kid(1)));
       case Kind::Store:
         throw PugError("MiniSMT: store outside a select (array equality?) "
                        "is not supported");
@@ -68,7 +111,7 @@ class Lowerer {
         kids.reserve(e.arity());
         bool changed = false;
         for (size_t i = 0; i < e.arity(); ++i) {
-          Expr k = lower(e.kid(i));
+          Expr k = lowerRec(e.kid(i));
           changed |= (k != e.kid(i));
           kids.push_back(k);
         }
@@ -81,13 +124,13 @@ class Lowerer {
   Expr lowerSelect(Expr arrayTerm, Expr index) {
     switch (arrayTerm.kind()) {
       case Kind::Store: {
-        Expr i = lower(arrayTerm.kid(1));
-        Expr v = lower(arrayTerm.kid(2));
+        Expr i = lowerRec(arrayTerm.kid(1));
+        Expr v = lowerRec(arrayTerm.kid(2));
         Expr rest = lowerSelect(arrayTerm.kid(0), index);
         return ctx_.mkIte(ctx_.mkEq(i, index), v, rest);
       }
       case Kind::Ite: {
-        Expr c = lower(arrayTerm.kid(0));
+        Expr c = lowerRec(arrayTerm.kid(0));
         Expr t = lowerSelect(arrayTerm.kid(1), index);
         Expr f = lowerSelect(arrayTerm.kid(2), index);
         return ctx_.mkIte(c, t, f);
@@ -96,12 +139,19 @@ class Lowerer {
         // Reuse the scalar when the same (array, index) was read before.
         const auto key = std::make_pair(arrayTerm.node(), index.node());
         auto it = readMemo_.find(key);
-        if (it != readMemo_.end()) return it->second;
+        if (it != readMemo_.end()) {
+          touched_.push_back(it->second);
+          return reads_[it->second].value;
+        }
         Expr fresh = ctx_.freshVar(
             "ack_" + arrayTerm.varName(),
             expr::Sort::bv(arrayTerm.sort().elemWidth()));
+        const uint32_t idx = static_cast<uint32_t>(reads_.size());
         reads_.push_back({arrayTerm, index, fresh});
-        readMemo_.emplace(key, fresh);
+        isPerm_.push_back(false);
+        inQuery_.push_back(false);
+        readMemo_.emplace(key, idx);
+        touched_.push_back(idx);
         return fresh;
       }
       default:
@@ -119,21 +169,52 @@ class Lowerer {
 
   expr::Context& ctx_;
   std::unordered_map<const expr::Node*, Expr> memo_;
-  std::unordered_map<std::pair<const expr::Node*, const expr::Node*>, Expr,
-                     PairHash>
+  // Read indices referenced beneath an already-lowered node (only nodes
+  // with at least one read get an entry; most nodes have none).
+  std::unordered_map<const expr::Node*, std::vector<uint32_t>> readsUnder_;
+  std::unordered_map<std::pair<const expr::Node*, const expr::Node*>,
+                     uint32_t, PairHash>
       readMemo_;
   std::vector<AckermannRead> reads_;
+  std::vector<bool> isPerm_;     // indexed like reads_
+  std::vector<bool> inQuery_;    // indexed like reads_
+  std::vector<uint32_t> permReads_;
+  std::vector<uint32_t> queryReads_;
+  std::unordered_set<uint64_t> emittedPairs_;
+  std::vector<uint32_t> touched_;  // scratch of the in-flight lower call
 };
 
-}  // namespace
+ArrayLowerer::ArrayLowerer(expr::Context& ctx)
+    : impl_(std::make_unique<Impl>(ctx)) {}
+ArrayLowerer::~ArrayLowerer() = default;
+ArrayLowerer::ArrayLowerer(ArrayLowerer&&) noexcept = default;
+ArrayLowerer& ArrayLowerer::operator=(ArrayLowerer&&) noexcept = default;
+
+Expr ArrayLowerer::lower(Expr e, std::vector<Expr>& newConstraints) {
+  return impl_->lower(e, newConstraints);
+}
+
+Expr ArrayLowerer::lowerTransient(Expr e,
+                                  std::vector<Expr>& newConstraints) {
+  return impl_->lowerTransient(e, newConstraints);
+}
+
+void ArrayLowerer::beginQuery() { impl_->beginQuery(); }
+
+const std::vector<AckermannRead>& ArrayLowerer::reads() const {
+  return impl_->reads();
+}
+
+bool ArrayLowerer::readActive(size_t i) const { return impl_->readActive(i); }
 
 ArrayLowering lowerArrays(expr::Context& ctx,
                           std::span<const expr::Expr> assertions) {
-  Lowerer lw(ctx);
-  std::vector<Expr> lowered;
-  lowered.reserve(assertions.size());
-  for (Expr a : assertions) lowered.push_back(lw.lower(a));
-  return lw.finish(std::move(lowered));
+  ArrayLowerer lw(ctx);
+  ArrayLowering out;
+  out.formulas.reserve(assertions.size());
+  for (Expr a : assertions) out.formulas.push_back(lw.lower(a, out.constraints));
+  out.reads = lw.reads();
+  return out;
 }
 
 }  // namespace pugpara::smt::mini

@@ -2,8 +2,28 @@
 // Ackermann reduction. After lowering, the formula mentions no Select /
 // Store nodes; each surviving read of a base array variable becomes a fresh
 // scalar with pairwise functional-consistency constraints.
+//
+// ArrayLowerer is incremental: one instance lowers assertion after
+// assertion, reusing the rewrite memo and the (array, index) -> scalar map
+// across calls, and emits only the NEW consistency constraints each time.
+// The constraints are theory-valid Ackermann axioms, so they may be
+// asserted permanently even when the assertion that introduced a read is
+// later retracted.
+//
+// Reads come in two flavors. Reads introduced by lower() (asserted
+// formulas) are PERMANENT: they are pairwise-axiomatized against every
+// other permanent read, forever. Reads introduced by lowerTransient()
+// (per-query assumption formulas) are live only for the current query
+// (delimited by beginQuery()): they are axiomatized against the permanent
+// reads and against the other reads of the same query, but NOT against
+// reads of earlier, dead queries — those can never co-occur with the live
+// query in one solving context, so pairing them would grow the CNF
+// quadratically in the query count for no information. All emitted axioms
+// are theory-valid either way, so the SAT layer may keep them permanently.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "expr/context.h"
@@ -16,13 +36,54 @@ struct AckermannRead {
   expr::Expr value;  // the fresh scalar standing for array[index]
 };
 
+class ArrayLowerer {
+ public:
+  explicit ArrayLowerer(expr::Context& ctx);
+  ~ArrayLowerer();
+  ArrayLowerer(ArrayLowerer&&) noexcept;
+  ArrayLowerer& operator=(ArrayLowerer&&) noexcept;
+
+  /// Lowers one asserted formula. Reads it references become permanent;
+  /// the consistency axioms newly required (new permanent pairs) are
+  /// appended to `newConstraints`. Throws PugError on array equalities or
+  /// other shapes outside the select/store fragment.
+  [[nodiscard]] expr::Expr lower(expr::Expr e,
+                                 std::vector<expr::Expr>& newConstraints);
+
+  /// Lowers one assumption formula of the current query. Reads it
+  /// references are live until the next beginQuery(); axioms pairing them
+  /// with the permanent reads and with this query's other reads are
+  /// appended to `newConstraints` (each pair emitted at most once, ever).
+  [[nodiscard]] expr::Expr lowerTransient(
+      expr::Expr e, std::vector<expr::Expr>& newConstraints);
+
+  /// Starts a new query: reads of the previous query's assumptions stop
+  /// being live (their axioms remain — they are valid — but no new pairs
+  /// will be emitted against them).
+  void beginQuery();
+
+  /// Every read ever introduced (for model reconstruction).
+  [[nodiscard]] const std::vector<AckermannRead>& reads() const;
+
+  /// Whether reads()[i] is live for the current query: permanent, or
+  /// referenced by an assumption since the last beginQuery(). Model
+  /// reconstruction must take array cells from live reads only — dead
+  /// reads lack axioms against the live set, so their (unconstrained)
+  /// values may contradict the cells the live query pins down.
+  [[nodiscard]] bool readActive(size_t i) const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 struct ArrayLowering {
   std::vector<expr::Expr> formulas;     // lowered assertions
   std::vector<expr::Expr> constraints;  // functional-consistency axioms
   std::vector<AckermannRead> reads;     // for model reconstruction
 };
 
-/// Lowers `assertions`. Throws PugError on array equalities or other shapes
+/// One-shot convenience over ArrayLowerer. Throws PugError on shapes
 /// outside the select/store fragment (the caller reports Unknown).
 [[nodiscard]] ArrayLowering lowerArrays(expr::Context& ctx,
                                         std::span<const expr::Expr> assertions);

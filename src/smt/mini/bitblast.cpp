@@ -178,6 +178,7 @@ std::vector<Lit> BitBlaster::blastBv(Expr e) {
     case Kind::Var: {
       out.resize(w);
       for (uint32_t i = 0; i < w; ++i) out[i] = fresh();
+      vars_.push_back(e);
       break;
     }
     case Kind::Ite:
@@ -265,6 +266,7 @@ Lit BitBlaster::blastBool(Expr e) {
       break;
     case Kind::Var:
       out = fresh();
+      vars_.push_back(e);
       break;
     case Kind::Not:
       out = ~blastBool(e.kid(0));
@@ -306,6 +308,10 @@ Lit BitBlaster::blastBool(Expr e) {
 }
 
 void BitBlaster::assertTrue(Expr e) { sat_.addClause({blastBool(e)}); }
+
+void BitBlaster::assertTrueUnderSelector(Expr e, Lit selector) {
+  sat_.addClause({blastBool(e), ~selector});
+}
 
 Lit BitBlaster::boolLit(Expr e) { return blastBool(e); }
 

@@ -18,10 +18,23 @@ class BitBlaster {
   /// Asserts a Bool-sorted expression at the top level.
   void assertTrue(expr::Expr e);
 
+  /// Asserts a Bool-sorted expression guarded by a selector literal: the
+  /// CNF clause is `root ∨ ¬selector`, so the assertion is active only
+  /// while `selector` is assumed and can be retracted permanently by
+  /// adding the unit `¬selector`. The Tseitin gate clauses defining `root`
+  /// are unguarded — they are definitional and satisfiable in every model.
+  void assertTrueUnderSelector(expr::Expr e, Lit selector);
+
   /// The literal of a Bool expression / the bit vector (LSB first) of a
   /// bit-vector expression — used for model extraction.
   [[nodiscard]] Lit boolLit(expr::Expr e);
   [[nodiscard]] const std::vector<Lit>& bits(expr::Expr e);
+
+  /// Every variable expression ever assigned SAT bits, in first-blasted
+  /// order — the support over which a model environment is built.
+  [[nodiscard]] const std::vector<expr::Expr>& blastedVars() const {
+    return vars_;
+  }
 
   /// Value of a blasted expression under the SAT model.
   [[nodiscard]] uint64_t modelBv(expr::Expr e);
@@ -61,6 +74,7 @@ class BitBlaster {
   bool haveTrue_ = false;
   std::unordered_map<const expr::Node*, Lit> boolMemo_;
   std::unordered_map<const expr::Node*, std::vector<Lit>> bvMemo_;
+  std::vector<expr::Expr> vars_;  // blasted Var expressions
 };
 
 }  // namespace pugpara::smt::mini

@@ -1,6 +1,19 @@
-// MiniSMT: the from-scratch QF_ABV solver backend. Pipeline per check():
+// MiniSMT: the from-scratch QF_ABV solver backend. Pipeline per assertion:
 // quantifier screen -> array lowering (read-over-write + Ackermann) ->
 // signed/division elimination -> Tseitin bit-blasting -> CDCL.
+//
+// The backend is incremental in the MiniSat style. One SatSolver, one
+// BitBlaster and one lowering pipeline live for the lifetime of the
+// MiniSolver, so a DAG node is lowered and bit-blasted exactly once no
+// matter how many check() calls see it, and learnt clauses / variable
+// activities carry over between queries. Retraction works through scope
+// selector literals: an assertion added at push depth d > 0 lands as the
+// clause `root ∨ ¬a_d`, the per-check solve assumes every live scope's
+// a_d, and pop() retires the scope by adding the permanent unit `¬a_d`
+// (which also silently disables every learnt clause derived from the
+// scope, since resolution drags ¬a_d along). Tseitin gate clauses,
+// Ackermann consistency axioms and division definitions are definitional
+// or theory-valid, so they stay asserted permanently — sound across pops.
 //
 // Faithful to the paper's era in one deliberate way: quantified formulas
 // are rejected with Unknown, which is exactly the solver limitation that
@@ -9,6 +22,7 @@
 // decide; NativeForall VCs it cannot.
 #include <atomic>
 #include <memory>
+#include <unordered_map>
 
 #include "expr/eval.h"
 #include "expr/walk.h"
@@ -25,6 +39,7 @@ namespace {
 
 using expr::Expr;
 using mini::BitBlaster;
+using mini::Lit;
 using mini::SatSolver;
 
 bool containsQuantifier(Expr e) {
@@ -53,62 +68,72 @@ class MiniModel final : public Model {
 
 class MiniSolver final : public Solver {
  public:
-  void push() override { scopes_.push_back(assertions_.size()); }
+  void push() override {
+    scopes_.push_back({assertions_.size(), Lit(), false});
+  }
 
   void pop() override {
     require(!scopes_.empty(), "MiniSolver::pop without push");
-    assertions_.resize(scopes_.back());
+    const Scope s = scopes_.back();
     scopes_.pop_back();
+    assertions_.resize(s.numAssertions);
+    assertionDepth_.resize(s.numAssertions);
+    if (encoded_ > s.numAssertions) encoded_ = s.numAssertions;
+    // Retire the scope's clauses for good: every clause it owns carries
+    // ¬selector, so this unit satisfies (deactivates) all of them, learnt
+    // descendants included.
+    if (s.hasSelector && eng_) eng_->sat.addClause({~s.selector});
   }
 
   void add(Expr assertion) override {
     require(assertion.sort().isBool(), "asserted expression must be Bool");
     assertions_.push_back(assertion);
+    assertionDepth_.push_back(static_cast<uint32_t>(scopes_.size()));
   }
 
-  CheckResult check() override {
+  CheckResult check() override { return checkAssuming({}); }
+
+  CheckResult checkAssuming(std::span<const expr::Expr> assumptions) override {
     model_.reset();
     if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
-    if (assertions_.empty()) {
-      model_ = std::make_unique<MiniModel>(expr::Env{});
-      return CheckResult::Sat;
-    }
-    expr::Context& ctx = assertions_.front().ctx();
-
     for (Expr a : assertions_)
-      if (containsQuantifier(a)) return CheckResult::Unknown;
+      if (hasQuantifier(a)) return CheckResult::Unknown;
+    for (Expr a : assumptions) {
+      require(a.sort().isBool(), "assumption must be Bool");
+      if (hasQuantifier(a)) return CheckResult::Unknown;
+    }
 
-    mini::ArrayLowering arrays;
-    mini::Preprocessed pre;
+    if (eng_ == nullptr) {
+      if (assertions_.empty() && assumptions.empty()) {
+        model_ = std::make_unique<MiniModel>(expr::Env{});
+        return CheckResult::Sat;
+      }
+      expr::Context& ctx = assertions_.empty() ? assumptions.front().ctx()
+                                               : assertions_.front().ctx();
+      eng_ = std::make_unique<Engine>(ctx);
+    }
+
+    std::vector<Lit> assume;
     try {
-      arrays = mini::lowerArrays(ctx, assertions_);
-      std::vector<Expr> all = arrays.formulas;
-      all.insert(all.end(), arrays.constraints.begin(),
-                 arrays.constraints.end());
-      pre = mini::preprocess(ctx, all);
+      encodePending();
+      eng_->arrays.beginQuery();
+      for (const Scope& s : scopes_)
+        if (s.hasSelector) assume.push_back(s.selector);
+      for (Expr a : assumptions) assume.push_back(assumptionLit(a));
     } catch (const PugError&) {
       return CheckResult::Unknown;  // outside the supported fragment
     }
 
-    SatSolver sat;
-    BitBlaster bb(sat);
-    std::vector<Expr> final = pre.formulas;
-    final.insert(final.end(), pre.constraints.begin(),
-                 pre.constraints.end());
-    try {
-      for (Expr f : final) bb.assertTrue(f);
-    } catch (const PugError&) {
-      return CheckResult::Unknown;
-    }
-
     WallTimer timer;
     const uint32_t budget = timeoutMs_;
-    sat.setInterrupt([this, &timer, budget]() {
+    eng_->sat.setInterrupt([this, &timer, budget]() {
       if (stopped_.load(std::memory_order_acquire)) return false;
       return budget == 0 || timer.millis() < budget;
     });
+    const mini::SatResult r = eng_->sat.solve(assume);
+    eng_->sat.setInterrupt({});  // the timer dies with this frame
 
-    switch (sat.solve()) {
+    switch (r) {
       case mini::SatResult::Unsat:
         return CheckResult::Unsat;
       case mini::SatResult::Aborted:
@@ -117,27 +142,31 @@ class MiniSolver final : public Solver {
         break;
     }
 
-    // Build the model environment: scalar variables from their bits, array
-    // variables from the Ackermann reads.
+    // Build the model environment: every blasted scalar variable from its
+    // bits, array variables from the Ackermann reads. Only reads live for
+    // this query (permanent ones plus this query's assumption reads)
+    // contribute cells — dead queries' reads carry no axioms against the
+    // live set, so their values could contradict the cells this query
+    // pins down.
     expr::Env env;
-    std::unordered_map<const expr::Node*, expr::ArrayValue> arrayVals;
-    for (Expr f : final) {
-      for (Expr v : expr::freeVars(f)) {
-        if (v.sort().isBool()) {
-          env.bindBool(v, bb.modelBool(v));
-        } else if (v.sort().isBv()) {
-          env.bindBv(v, bb.modelBv(v));
-        }
+    for (Expr v : eng_->bb.blastedVars()) {
+      if (v.sort().isBool()) {
+        env.bindBool(v, eng_->bb.modelBool(v));
+      } else {
+        env.bindBv(v, eng_->bb.modelBv(v));
       }
     }
-    for (const mini::AckermannRead& rd : arrays.reads) {
+    std::unordered_map<const expr::Node*, expr::ArrayValue> arrayVals;
+    const std::vector<mini::AckermannRead>& reads = eng_->arrays.reads();
+    for (size_t i = 0; i < reads.size(); ++i) {
+      if (!eng_->arrays.readActive(i)) continue;
+      const mini::AckermannRead& rd = reads[i];
       // The recorded index is select-free and its scalar leaves are bound
       // above, so the concrete evaluator computes it directly.
       const uint64_t idx = expr::evalBv(rd.index, env);
       const uint64_t val = expr::evalBv(rd.value, env);
       arrayVals[rd.array.node()].set(idx, val);
     }
-    (void)ctx;
     for (auto& [node, av] : arrayVals)
       env.bind(Expr(node), expr::Value::ofArray(std::move(av)));
 
@@ -159,8 +188,84 @@ class MiniSolver final : public Solver {
   [[nodiscard]] std::string name() const override { return "minismt"; }
 
  private:
+  struct Scope {
+    size_t numAssertions;
+    Lit selector;  // created lazily when the scope's first clause lands
+    bool hasSelector;
+  };
+
+  // The persistent solving state; created at the first non-trivial check
+  // (lowering needs the expression context, which assertions carry).
+  struct Engine {
+    SatSolver sat;
+    BitBlaster bb{sat};
+    mini::ArrayLowerer arrays;
+    mini::Preprocessor pre;
+    explicit Engine(expr::Context& ctx) : arrays(ctx), pre(ctx) {}
+  };
+
+  bool hasQuantifier(Expr e) {
+    auto [it, inserted] = quantMemo_.try_emplace(e.node(), false);
+    if (inserted) it->second = containsQuantifier(e);
+    return it->second;
+  }
+
+  /// Lowers one formula through the pipeline. Side constraints (Ackermann
+  /// axioms, division definitions) produced along the way are asserted
+  /// permanently — they are valid in every model, so they survive pops.
+  Expr lowerFormula(Expr e) {
+    std::vector<Expr> axioms;
+    Expr f = eng_->arrays.lower(e, axioms);
+    std::vector<Expr> side;
+    Expr g = eng_->pre.rewrite(f, side);
+    for (Expr ax : axioms) side.push_back(eng_->pre.rewrite(ax, side));
+    for (Expr c : side) eng_->bb.assertTrue(c);
+    return g;
+  }
+
+  /// Encodes assertions added since the last check. On PugError the
+  /// high-water mark stays at the failing assertion: this check reports
+  /// Unknown, and once a pop() removes the offender the remainder encodes
+  /// normally (partially emitted gate clauses are definitional, so an
+  /// aborted encode leaves no trace in the solution space).
+  void encodePending() {
+    for (; encoded_ < assertions_.size(); ++encoded_) {
+      Expr g = lowerFormula(assertions_[encoded_]);
+      const uint32_t depth = assertionDepth_[encoded_];
+      if (depth == 0) {
+        eng_->bb.assertTrue(g);
+      } else {
+        Scope& s = scopes_[depth - 1];
+        if (!s.hasSelector) {
+          s.selector = Lit(eng_->sat.newVar(), false);
+          s.hasSelector = true;
+        }
+        eng_->bb.assertTrueUnderSelector(g, s.selector);
+      }
+    }
+  }
+
+  /// The root literal standing for an assumption formula. Lowered through
+  /// the transient path EVERY call (the pipeline's internal memos make a
+  /// repeat nearly free) so the array lowerer re-registers the reads the
+  /// assumption references as live for this query and emits any pairing
+  /// axioms the new combination of live reads needs.
+  Lit assumptionLit(Expr a) {
+    std::vector<Expr> axioms;
+    Expr f = eng_->arrays.lowerTransient(a, axioms);
+    std::vector<Expr> side;
+    Expr g = eng_->pre.rewrite(f, side);
+    for (Expr ax : axioms) side.push_back(eng_->pre.rewrite(ax, side));
+    for (Expr c : side) eng_->bb.assertTrue(c);
+    return eng_->bb.boolLit(g);
+  }
+
   std::vector<Expr> assertions_;
-  std::vector<size_t> scopes_;
+  std::vector<uint32_t> assertionDepth_;  // scope depth at add() time
+  std::vector<Scope> scopes_;
+  size_t encoded_ = 0;  // assertions_[0, encoded_) are in the CNF
+  std::unique_ptr<Engine> eng_;
+  std::unordered_map<const expr::Node*, bool> quantMemo_;
   std::atomic<bool> stopped_{false};
   uint32_t timeoutMs_ = 0;
   std::unique_ptr<MiniModel> model_;

@@ -10,12 +10,24 @@ namespace pugpara::smt::mini {
 using expr::Expr;
 using expr::Kind;
 
-namespace {
-
-class Rewriter {
+class Preprocessor::Impl {
  public:
-  explicit Rewriter(expr::Context& ctx) : ctx_(ctx) {}
+  explicit Impl(expr::Context& ctx) : ctx_(ctx) {}
 
+  /// Rewrites `e` and drains the pending division definitions (themselves
+  /// rewritten to a fixpoint; divRem memoization guarantees termination)
+  /// into `newConstraints`.
+  Expr rewrite(Expr e, std::vector<Expr>& newConstraints) {
+    Expr r = rewrite(e);
+    while (!constraints_.empty()) {
+      std::vector<Expr> pending = std::move(constraints_);
+      constraints_.clear();
+      for (Expr c : pending) newConstraints.push_back(rewrite(c));
+    }
+    return r;
+  }
+
+ private:
   Expr rewrite(Expr e) {
     auto it = memo_.find(e.node());
     if (it != memo_.end()) return it->second;
@@ -24,9 +36,6 @@ class Rewriter {
     return r;
   }
 
-  std::vector<Expr> takeConstraints() { return std::move(constraints_); }
-
- private:
   Expr msbSet(Expr x) {
     const uint32_t w = x.sort().width();
     return ctx_.mkEq(ctx_.mkExtract(x, w - 1, w - 1), ctx_.bvVal(1, 1));
@@ -137,26 +146,23 @@ class Rewriter {
   std::vector<Expr> constraints_;
 };
 
-}  // namespace
+Preprocessor::Preprocessor(expr::Context& ctx)
+    : impl_(std::make_unique<Impl>(ctx)) {}
+Preprocessor::~Preprocessor() = default;
+Preprocessor::Preprocessor(Preprocessor&&) noexcept = default;
+Preprocessor& Preprocessor::operator=(Preprocessor&&) noexcept = default;
+
+Expr Preprocessor::rewrite(Expr e, std::vector<Expr>& newConstraints) {
+  return impl_->rewrite(e, newConstraints);
+}
 
 Preprocessed preprocess(expr::Context& ctx,
                         std::span<const expr::Expr> assertions) {
-  Rewriter rw(ctx);
+  Preprocessor pre(ctx);
   Preprocessed out;
   out.formulas.reserve(assertions.size());
-  for (Expr a : assertions) out.formulas.push_back(rw.rewrite(a));
-  // Constraints may themselves contain division (nested): rewrite to a
-  // fixpoint. divRem memoization guarantees termination.
-  std::vector<Expr> pending = rw.takeConstraints();
-  while (!pending.empty()) {
-    std::vector<Expr> next;
-    for (Expr c : pending) {
-      Expr r = rw.rewrite(c);
-      out.constraints.push_back(r);
-    }
-    next = rw.takeConstraints();
-    pending = std::move(next);
-  }
+  for (Expr a : assertions)
+    out.formulas.push_back(pre.rewrite(a, out.constraints));
   return out;
 }
 

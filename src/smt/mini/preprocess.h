@@ -2,21 +2,49 @@
 // (SMT-LIB's defining expansions) and eliminates division/remainder by
 // introducing fresh quotient/remainder variables with exact double-width
 // defining constraints.
+//
+// Preprocessor is incremental: one instance rewrites assertion after
+// assertion, sharing the rewrite and division memos, and emits only the
+// defining constraints for quotient/remainder pairs first introduced by
+// each call. The definitions are valid for every model that extends it, so
+// they may be asserted permanently even when the assertion that introduced
+// them is later retracted.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "expr/context.h"
 
 namespace pugpara::smt::mini {
 
+class Preprocessor {
+ public:
+  explicit Preprocessor(expr::Context& ctx);
+  ~Preprocessor();
+  Preprocessor(Preprocessor&&) noexcept;
+  Preprocessor& operator=(Preprocessor&&) noexcept;
+
+  /// Rewrites one assertion. Defining constraints for fresh
+  /// quotient/remainder pairs (themselves rewritten to a fixpoint, so they
+  /// are division-free) are appended to `newConstraints`. Throws PugError
+  /// when a division at width > 32 appears (the exact definition needs a
+  /// 2w-bit product).
+  [[nodiscard]] expr::Expr rewrite(expr::Expr e,
+                                   std::vector<expr::Expr>& newConstraints);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 struct Preprocessed {
   std::vector<expr::Expr> formulas;
   std::vector<expr::Expr> constraints;  // division/remainder definitions
 };
 
-/// Rewrites `assertions`. Throws PugError when a division at width > 32
-/// appears (the exact definition needs a 2w-bit product).
+/// One-shot convenience over Preprocessor.
 [[nodiscard]] Preprocessed preprocess(expr::Context& ctx,
                                       std::span<const expr::Expr> assertions);
 

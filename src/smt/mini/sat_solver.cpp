@@ -95,11 +95,23 @@ Lit SatSolver::pickBranch() {
 
 bool SatSolver::addClause(std::vector<Lit> lits) {
   if (unsatAtTopLevel_) return false;
+  require(trailLim_.empty(), "SatSolver::addClause during solve");
   // Normalize: sort, dedupe, drop tautologies.
   std::sort(lits.begin(), lits.end());
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
   for (size_t i = 0; i + 1 < lits.size(); ++i)
     if (lits[i].var() == lits[i + 1].var()) return true;  // l ∨ ¬l
+  // Simplify against the top level: between solve() calls every assignment
+  // is a permanent (level-0) consequence, so satisfied clauses vanish and
+  // falsified literals drop — which also keeps the watch invariant intact
+  // for clauses added to an incrementally solved instance.
+  size_t keep = 0;
+  for (const Lit l : lits) {
+    const LBool v = value(l);
+    if (v == LBool::True) return true;
+    if (v == LBool::Undef) lits[keep++] = l;
+  }
+  lits.resize(keep);
   if (lits.empty()) {
     unsatAtTopLevel_ = true;
     return false;
@@ -321,33 +333,56 @@ uint64_t SatSolver::luby(uint64_t i) {
   return uint64_t{1} << seq;
 }
 
-SatResult SatSolver::solve() {
+SatResult SatSolver::solve(std::span<const Lit> assumptions) {
   if (unsatAtTopLevel_) return SatResult::Unsat;
-  // Top-level units.
+  backtrack(0);
+  // Top-level units added since the last call.
   for (const Lit u : units_) {
-    if (value(u) == LBool::False) return SatResult::Unsat;
+    if (value(u) == LBool::False) {
+      unsatAtTopLevel_ = true;
+      return SatResult::Unsat;
+    }
     if (value(u) == LBool::Undef) enqueue(u, kNoReason);
   }
-  if (propagate() != kNoReason) return SatResult::Unsat;
+  units_.clear();
+  if (propagate() != kNoReason) {
+    unsatAtTopLevel_ = true;
+    return SatResult::Unsat;
+  }
 
   std::vector<Lit> learnt;
   uint64_t restartBase = 64;
   uint64_t conflictsAtRestart = 0;
   uint64_t restartBudget = restartBase * luby(stats_.restarts);
-  uint64_t reduceBudget = 2000;
+  uint64_t reduceBudget = stats_.learnts + 2000;
+  const uint64_t conflictsAtEntry = stats_.conflicts;
+
+  // `done` backtracks to the top level on every exit so the solver is ready
+  // for more clauses / another solve; a Sat model is snapshotted first.
+  const auto done = [this](SatResult r) {
+    if (r == SatResult::Sat) model_.assign(assigns_.begin(), assigns_.end());
+    backtrack(0);
+    return r;
+  };
 
   for (;;) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
       ++conflictsAtRestart;
-      if (trailLim_.empty()) return SatResult::Unsat;
+      if (trailLim_.empty()) {
+        unsatAtTopLevel_ = true;
+        return done(SatResult::Unsat);
+      }
       int backLevel = 0;
       analyze(conflict, learnt, backLevel);
       backtrack(backLevel);
       if (learnt.size() == 1) {
         if (!trailLim_.empty()) backtrack(0);
-        if (value(learnt[0]) == LBool::False) return SatResult::Unsat;
+        if (value(learnt[0]) == LBool::False) {
+          unsatAtTopLevel_ = true;
+          return done(SatResult::Unsat);
+        }
         if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], kNoReason);
       } else {
         Clause c;
@@ -362,10 +397,11 @@ SatResult SatSolver::solve() {
       }
       decayActivities();
 
-      if (conflictBudget_ != 0 && stats_.conflicts >= conflictBudget_)
-        return SatResult::Aborted;
+      if (conflictBudget_ != 0 &&
+          stats_.conflicts - conflictsAtEntry >= conflictBudget_)
+        return done(SatResult::Aborted);
       if ((stats_.conflicts & 2047) == 0 && keepGoing_ && !keepGoing_())
-        return SatResult::Aborted;
+        return done(SatResult::Aborted);
       if (stats_.learnts > reduceBudget) {
         reduceLearnts();
         reduceBudget += reduceBudget / 2;
@@ -377,8 +413,26 @@ SatResult SatSolver::solve() {
         backtrack(0);
       }
     } else {
-      const Lit next = pickBranch();
-      if (next == Lit()) return SatResult::Sat;
+      // Re-establish the assumptions as pseudo-decisions at the root
+      // decision levels (restarts and backjumps may have undone them).
+      Lit next = Lit();
+      while (trailLim_.size() < assumptions.size()) {
+        const Lit p = assumptions[trailLim_.size()];
+        if (value(p) == LBool::True) {
+          trailLim_.push_back(trail_.size());  // satisfied: dummy level
+        } else if (value(p) == LBool::False) {
+          // An earlier assumption (or the clause set) implies ¬p: unsat
+          // under these assumptions, but the clause set itself lives on.
+          return done(SatResult::Unsat);
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (next == Lit()) {
+        next = pickBranch();
+        if (next == Lit()) return done(SatResult::Sat);
+      }
       ++stats_.decisions;
       trailLim_.push_back(trail_.size());
       enqueue(next, kNoReason);

@@ -1,12 +1,18 @@
 // A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
 // conflict analysis with non-chronological backjumping, EVSIDS branching,
 // phase saving, Luby restarts and activity-based learnt-clause reduction.
-// Single-shot solving (the MiniSMT layer re-blasts per check), which keeps
-// the state machine simple and the behavior deterministic.
+//
+// Incremental, MiniSat-style: solve() may be called repeatedly, clauses may
+// be added between calls, and solve(assumptions) decides the instance under
+// a set of assumption literals enqueued as pseudo-decisions at the root
+// decision levels. Learnt clauses, variable activities and saved phases
+// persist across calls, which is what makes a long run of structurally
+// similar queries (the race checker's per-pair flood) cheap.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "smt/mini/sat_types.h"
@@ -22,11 +28,14 @@ class SatSolver {
   [[nodiscard]] size_t numVars() const { return watches_.size() / 2; }
 
   /// Adds a clause (empty clause makes the instance trivially unsat).
-  /// Returns false if the solver is already unsat.
+  /// Returns false if the solver is already unsat. Must be called between
+  /// solve() calls (the solver is at decision level 0 there); literals
+  /// already decided at the top level are simplified away.
   bool addClause(std::vector<Lit> lits);
 
-  /// Budget: abort after this many conflicts (0 = unlimited). The caller
-  /// converts wall-clock budgets into conflict budgets via the callback.
+  /// Budget: abort after this many conflicts PER solve() call (0 =
+  /// unlimited). The caller converts wall-clock budgets into conflict
+  /// budgets via the callback.
   void setConflictBudget(uint64_t conflicts) { conflictBudget_ = conflicts; }
   /// Optional periodic callback (every ~2048 conflicts); return false to
   /// abort (wall-clock timeouts).
@@ -34,11 +43,16 @@ class SatSolver {
     keepGoing_ = std::move(keepGoing);
   }
 
-  [[nodiscard]] SatResult solve();
+  /// Decides the clause set under `assumptions` (may be empty). Assumptions
+  /// constrain only this call; everything learned persists. Unsat means
+  /// "unsat under these assumptions" unless the clause set itself is
+  /// contradictory (then every later call is Unsat too).
+  [[nodiscard]] SatResult solve(std::span<const Lit> assumptions = {});
 
-  /// Value of a variable in the model (valid after Sat).
+  /// Value of a variable in the model (snapshot of the last Sat solve();
+  /// variables created after that solve read as false).
   [[nodiscard]] bool modelValue(Var v) const {
-    return assigns_[v] == LBool::True;
+    return v < model_.size() && model_[v] == LBool::True;
   }
 
   // Statistics (exposed for the micro bench and tests).
@@ -101,7 +115,8 @@ class SatSolver {
   std::vector<uint32_t> heapPos_;  // lazy: linear scan fallback; see .cpp
   std::vector<Var> order_;
 
-  std::vector<Lit> units_;  // top-level units added before solving
+  std::vector<Lit> units_;     // top-level units not yet enqueued
+  std::vector<LBool> model_;   // snapshot of the last Sat solve()
   bool unsatAtTopLevel_ = false;
   uint64_t conflictBudget_ = 0;
   std::function<bool()> keepGoing_;

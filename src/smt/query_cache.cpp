@@ -13,6 +13,18 @@ QueryKey queryKey(std::span<const expr::Expr> assertions) {
           expr::structuralHash(assertions, 0x14057b7ef767814fULL)};
 }
 
+QueryKey queryKey(std::span<const expr::Expr> assertions,
+                  std::span<const expr::Expr> assumptions) {
+  // The query decides the conjunction of the union, so key the union: an
+  // incremental checkAssuming query and the equivalent one-shot assertion
+  // set share an entry.
+  std::vector<expr::Expr> all;
+  all.reserve(assertions.size() + assumptions.size());
+  all.insert(all.end(), assertions.begin(), assertions.end());
+  all.insert(all.end(), assumptions.begin(), assumptions.end());
+  return queryKey(all);
+}
+
 std::optional<CheckResult> QueryCache::lookup(const QueryKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
@@ -102,6 +114,17 @@ class CachingSolver final : public Solver {
     }
     flush();
     CheckResult r = inner_->check();
+    cache_.insert(key, r);
+    return r;
+  }
+
+  CheckResult checkAssuming(std::span<const expr::Expr> assumptions) override {
+    const QueryKey key = queryKey(assertions_, assumptions);
+    if (auto cached = cache_.lookup(key)) {
+      if (*cached == CheckResult::Unsat) return CheckResult::Unsat;
+    }
+    flush();
+    CheckResult r = inner_->checkAssuming(assumptions);
     cache_.insert(key, r);
     return r;
   }

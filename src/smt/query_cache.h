@@ -47,6 +47,14 @@ struct QueryKeyHash {
 /// Computes the cache key for an asserted expression set (order-insensitive).
 [[nodiscard]] QueryKey queryKey(std::span<const expr::Expr> assertions);
 
+/// Key for a prefix + assumptions query, i.e. checkAssuming(assumptions) on
+/// a solver holding `assertions`. Semantically the query decides the
+/// conjunction of both sets, so the key is the order-insensitive digest of
+/// their union: the same Sat/Unsat entry answers the query no matter how
+/// the formulas are split between prefix and assumptions.
+[[nodiscard]] QueryKey queryKey(std::span<const expr::Expr> assertions,
+                                std::span<const expr::Expr> assumptions);
+
 class QueryCache {
  public:
   struct Stats {

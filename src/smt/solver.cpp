@@ -4,6 +4,14 @@
 
 namespace pugpara::smt {
 
+CheckResult Solver::checkAssuming(std::span<const expr::Expr> assumptions) {
+  push();
+  for (expr::Expr a : assumptions) add(a);
+  CheckResult r = check();
+  pop();
+  return r;
+}
+
 const char* toString(CheckResult r) {
   switch (r) {
     case CheckResult::Sat: return "sat";

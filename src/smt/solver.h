@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "expr/expr.h"
@@ -42,6 +43,18 @@ class Solver {
   /// Asserts a Bool-sorted expression.
   virtual void add(expr::Expr assertion) = 0;
   virtual CheckResult check() = 0;
+
+  /// MiniSat-style solve-under-assumptions: checks the asserted formulas
+  /// conjoined with `assumptions` WITHOUT making the assumptions part of the
+  /// solver state. Incremental backends keep everything learned from the
+  /// asserted prefix (learnt clauses, variable activities, bit-blasting)
+  /// across calls, so a long-lived solver answering many assumption-only
+  /// queries over one shared prefix is far cheaper than a fresh solver per
+  /// query. Every assumption must be Bool-sorted. After a Sat answer model()
+  /// reflects prefix ∧ assumptions. The default implementation falls back to
+  /// push/add/check/pop for backends without native support.
+  virtual CheckResult checkAssuming(std::span<const expr::Expr> assumptions);
+
   /// Returns the model after a Sat check(). PugError otherwise.
   [[nodiscard]] virtual std::unique_ptr<Model> model() = 0;
 

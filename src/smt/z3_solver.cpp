@@ -165,6 +165,21 @@ class Z3Solver final : public Solver {
     }
   }
 
+  CheckResult checkAssuming(
+      std::span<const expr::Expr> assumptions) override {
+    if (stopped_.load(std::memory_order_acquire)) return CheckResult::Unknown;
+    z3::expr_vector asms(*z3_);
+    for (expr::Expr a : assumptions) {
+      require(a.sort().isBool(), "assumption must be Bool");
+      asms.push_back(tr_->translate(a));
+    }
+    switch (solver_.check(asms)) {
+      case z3::sat: return CheckResult::Sat;
+      case z3::unsat: return CheckResult::Unsat;
+      default: return CheckResult::Unknown;
+    }
+  }
+
   [[nodiscard]] std::unique_ptr<Model> model() override {
     return std::make_unique<Z3Model>(z3_, solver_.get_model(), tr_);
   }

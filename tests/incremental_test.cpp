@@ -1,0 +1,339 @@
+// Incremental-solving tests: MiniSat-style solve-under-assumptions in the
+// CDCL core, scope retraction in the persistent MiniSMT backend,
+// checkAssuming conformance and Z3 cross-checks, and incremental-vs-fresh
+// race verdict agreement across the kernel corpus and job counts.
+#include <gtest/gtest.h>
+
+#include "check/session.h"
+#include "engine/engine.h"
+#include "expr/eval.h"
+#include "kernels/corpus.h"
+#include "smt/mini/sat_solver.h"
+#include "smt/solver.h"
+#include "support/rng.h"
+
+namespace pugpara::smt {
+namespace {
+
+using expr::Context;
+using expr::Expr;
+using expr::Sort;
+
+// ---- CDCL core: assumptions --------------------------------------------------
+
+TEST(SatAssumptionsTest, UnsatUnderAssumptionsIsNotSticky) {
+  mini::SatSolver s;
+  mini::Var a = s.newVar(), b = s.newVar();
+  s.addClause({mini::Lit(a, false), mini::Lit(b, false)});  // a | b
+  const mini::Lit notA[] = {mini::Lit(a, true)};
+  ASSERT_EQ(s.solve(notA), mini::SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(b));
+  const mini::Lit notBoth[] = {mini::Lit(a, true), mini::Lit(b, true)};
+  EXPECT_EQ(s.solve(notBoth), mini::SatResult::Unsat);
+  // The clause set itself is satisfiable; the failure above was local to
+  // the assumptions.
+  EXPECT_EQ(s.solve(), mini::SatResult::Sat);
+}
+
+TEST(SatAssumptionsTest, AssumptionsComposeWithRealClauses) {
+  mini::SatSolver s;
+  mini::Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+  s.addClause({mini::Lit(a, true), mini::Lit(b, false)});   // a -> b
+  s.addClause({mini::Lit(b, true), mini::Lit(c, false)});   // b -> c
+  const mini::Lit assumeA[] = {mini::Lit(a, false)};
+  ASSERT_EQ(s.solve(assumeA), mini::SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_TRUE(s.modelValue(c));
+  const mini::Lit aNotC[] = {mini::Lit(a, false), mini::Lit(c, true)};
+  EXPECT_EQ(s.solve(aNotC), mini::SatResult::Unsat);
+}
+
+/// Builds PHP(holes+1, holes) with every clause guarded by `sel` (clause ∨
+/// ¬sel): unsat exactly while `sel` is assumed.
+mini::Var guardedPigeonhole(mini::SatSolver& s, uint32_t holes) {
+  const mini::Var sel = s.newVar();
+  const mini::Lit notSel(sel, true);
+  const uint32_t pigeons = holes + 1;
+  std::vector<std::vector<mini::Var>> p(pigeons,
+                                        std::vector<mini::Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.newVar();
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    std::vector<mini::Lit> clause;
+    for (uint32_t h = 0; h < holes; ++h)
+      clause.emplace_back(p[i][h], false);
+    clause.push_back(notSel);
+    s.addClause(std::move(clause));
+  }
+  for (uint32_t h = 0; h < holes; ++h)
+    for (uint32_t i = 0; i < pigeons; ++i)
+      for (uint32_t j = i + 1; j < pigeons; ++j)
+        s.addClause(
+            {mini::Lit(p[i][h], true), mini::Lit(p[j][h], true), notSel});
+  return sel;
+}
+
+TEST(SatAssumptionsTest, LearntClausesPersistSoundly) {
+  mini::SatSolver s;
+  const mini::Var sel = guardedPigeonhole(s, 5);
+  const mini::Lit on[] = {mini::Lit(sel, false)};
+  // Alternate between the guarded-unsat instance and the free instance:
+  // verdicts must be stable while learnt clauses and activities accumulate
+  // (every learnt clause descends from guarded clauses, so it carries ¬sel
+  // and cannot pollute the unguarded solves).
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(s.solve(on), mini::SatResult::Unsat) << "round " << round;
+    EXPECT_EQ(s.solve(), mini::SatResult::Sat) << "round " << round;
+  }
+  EXPECT_GT(s.stats().conflicts, 0u);
+  // Re-solves with the refutation learnt should not redo the full search.
+  const uint64_t before = s.stats().conflicts;
+  EXPECT_EQ(s.solve(on), mini::SatResult::Unsat);
+  EXPECT_LE(s.stats().conflicts - before, before);
+}
+
+TEST(SatAssumptionsTest, SelectorRetirementDisablesClauses) {
+  mini::SatSolver s;
+  const mini::Var sel = guardedPigeonhole(s, 4);
+  const mini::Lit on[] = {mini::Lit(sel, false)};
+  ASSERT_EQ(s.solve(on), mini::SatResult::Unsat);
+  // Retire the scope: the permanent unit ¬sel satisfies every guarded
+  // clause (and every learnt descendant).
+  ASSERT_TRUE(s.addClause({mini::Lit(sel, true)}));
+  EXPECT_EQ(s.solve(), mini::SatResult::Sat);
+  // Assuming the retired selector now contradicts the unit.
+  EXPECT_EQ(s.solve(on), mini::SatResult::Unsat);
+  EXPECT_EQ(s.solve(), mini::SatResult::Sat);
+}
+
+// ---- MiniSMT backend: persistent push/pop ------------------------------------
+
+TEST(MiniIncrementalTest, PopRetractsExactlyTheScope) {
+  Context ctx;
+  auto s = makeMiniSolver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->push();
+  s->add(ctx.mkUlt(ctx.bvVal(20, 8), x));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+  s->pop();
+  // The popped clause must stop constraining the instance.
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->push();
+  s->add(ctx.mkEq(x, ctx.bvVal(3, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->pop();
+  // A base-level assertion incompatible with the popped one: if pop leaked,
+  // this would be unsat.
+  s->add(ctx.mkEq(x, ctx.bvVal(7, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+  s->push();
+  s->add(ctx.mkNe(x, ctx.bvVal(7, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);
+  s->pop();
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+}
+
+TEST(MiniIncrementalTest, ReusedScopeDepthGetsAFreshSelector) {
+  Context ctx;
+  auto s = makeMiniSolver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  // Push/pop the same depth repeatedly; each cycle must be independent.
+  for (int i = 0; i < 4; ++i) {
+    s->push();
+    s->add(ctx.mkEq(x, ctx.bvVal(static_cast<uint64_t>(i), 8)));
+    EXPECT_EQ(s->check(), CheckResult::Sat) << "cycle " << i;
+    s->push();
+    s->add(ctx.mkNe(x, ctx.bvVal(static_cast<uint64_t>(i), 8)));
+    EXPECT_EQ(s->check(), CheckResult::Unsat) << "cycle " << i;
+    s->pop();
+    s->pop();
+  }
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+}
+
+TEST(MiniIncrementalTest, ArrayAxiomsSurvivePopsSoundly) {
+  Context ctx;
+  auto s = makeMiniSolver();
+  Sort arr = Sort::array(8, 8);
+  Expr a = ctx.var("a", arr);
+  Expr i = ctx.var("i", Sort::bv(8));
+  Expr j = ctx.var("j", Sort::bv(8));
+  s->add(ctx.mkEq(ctx.mkSelect(a, i), ctx.bvVal(1, 8)));
+  s->push();
+  s->add(ctx.mkEq(i, j));
+  s->add(ctx.mkEq(ctx.mkSelect(a, j), ctx.bvVal(2, 8)));
+  EXPECT_EQ(s->check(), CheckResult::Unsat);  // Ackermann consistency
+  s->pop();
+  // The reads' consistency axiom persists (it is theory-valid), but the
+  // popped equalities are gone: satisfiable again with i != j.
+  ASSERT_EQ(s->check(), CheckResult::Sat);
+  auto m = s->model();
+  EXPECT_EQ(m->evalBv(ctx.mkSelect(a, i)), 1u);
+}
+
+// ---- checkAssuming conformance (both backends) --------------------------------
+
+class AssumingBackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  [[nodiscard]] std::unique_ptr<Solver> solver() const {
+    return makeSolver(GetParam());
+  }
+};
+
+TEST_P(AssumingBackendTest, AssumptionsConstrainOnlyTheirCall) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  s->add(ctx.mkUlt(x, ctx.bvVal(10, 8)));
+  const Expr big[] = {ctx.mkUlt(ctx.bvVal(20, 8), x)};
+  EXPECT_EQ(s->checkAssuming(big), CheckResult::Unsat);
+  EXPECT_EQ(s->check(), CheckResult::Sat);  // nothing persisted
+  const Expr five[] = {ctx.mkEq(x, ctx.bvVal(5, 8))};
+  ASSERT_EQ(s->checkAssuming(five), CheckResult::Sat);
+  auto m = s->model();
+  EXPECT_EQ(m->evalBv(x), 5u);  // model reflects the assumptions
+  const Expr clash[] = {ctx.mkEq(x, ctx.bvVal(5, 8)),
+                        ctx.mkEq(x, ctx.bvVal(6, 8))};
+  EXPECT_EQ(s->checkAssuming(clash), CheckResult::Unsat);
+  EXPECT_EQ(s->check(), CheckResult::Sat);
+}
+
+TEST_P(AssumingBackendTest, AssumptionsComposeWithPushPop) {
+  Context ctx;
+  auto s = solver();
+  Expr x = ctx.var("x", Sort::bv(8));
+  Expr y = ctx.var("y", Sort::bv(8));
+  s->add(ctx.mkUlt(x, y));
+  s->push();
+  s->add(ctx.mkUlt(y, ctx.bvVal(5, 8)));
+  const Expr xBig[] = {ctx.mkUle(ctx.bvVal(5, 8), x)};
+  EXPECT_EQ(s->checkAssuming(xBig), CheckResult::Unsat);
+  s->pop();
+  EXPECT_EQ(s->checkAssuming(xBig), CheckResult::Sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AssumingBackendTest,
+                         ::testing::Values(Backend::Z3, Backend::Mini),
+                         [](const auto& info) {
+                           return info.param == Backend::Z3 ? "Z3" : "Mini";
+                         });
+
+// ---- Random cross-check: checkAssuming, Z3 vs MiniSMT -------------------------
+
+class MiniVsZ3Assuming : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiniVsZ3Assuming, RandomPrefixAndAssumptionsAgree) {
+  SplitMix64 rng(GetParam() * 9176 + 271);
+  Context ctx;
+  const uint32_t width = 4 + static_cast<uint32_t>(rng.below(10));
+  Sort bv = Sort::bv(width);
+  std::vector<Expr> pool = {ctx.var("x", bv), ctx.var("y", bv),
+                            ctx.var("z", bv), ctx.bvVal(rng.next(), width),
+                            ctx.bvVal(rng.below(5), width)};
+  using K = expr::Kind;
+  const K ops[] = {K::BvAdd, K::BvSub, K::BvMul,  K::BvAnd,  K::BvOr,
+                   K::BvXor, K::BvShl, K::BvLShr, K::BvAShr, K::BvUDiv,
+                   K::BvURem, K::BvSDiv, K::BvSRem};
+  for (int i = 0; i < 12; ++i) {
+    Expr a = pool[rng.below(pool.size())];
+    Expr b = pool[rng.below(pool.size())];
+    pool.push_back(ctx.mkBvBin(ops[rng.below(std::size(ops))], a, b));
+  }
+  auto constraint = [&]() {
+    Expr a = pool[rng.below(pool.size())];
+    Expr b = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: return ctx.mkEq(a, b);
+      case 1: return ctx.mkUlt(a, b);
+      case 2: return ctx.mkSlt(a, b);
+      default: return ctx.mkNe(a, b);
+    }
+  };
+
+  auto z3 = makeZ3Solver();
+  auto mini = makeMiniSolver();
+  mini->setTimeoutMs(30000);
+  std::vector<Expr> prefix = {constraint(), constraint()};
+  for (Expr c : prefix) {
+    z3->add(c);
+    mini->add(c);
+  }
+
+  // Several assumption-only rounds on the same pair of live solvers: the
+  // incremental MiniSMT CNF persists across rounds and must keep agreeing
+  // with Z3's native assumption handling.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Expr> asms = {constraint()};
+    if (rng.below(2) != 0) asms.push_back(constraint());
+    CheckResult rz = z3->checkAssuming(asms);
+    CheckResult rm = mini->checkAssuming(asms);
+    ASSERT_NE(rm, CheckResult::Unknown)
+        << "seed " << GetParam() << " round " << round;
+    EXPECT_EQ(rz, rm) << "seed " << GetParam() << " round " << round
+                      << " width " << width;
+    if (rm == CheckResult::Sat) {
+      auto m = mini->model();
+      expr::Env env;
+      for (const char* name : {"x", "y", "z"}) {
+        Expr v = ctx.var(name, bv);
+        env.bindBv(v, m->evalBv(v));
+      }
+      for (Expr c : prefix)
+        EXPECT_TRUE(expr::evalBool(c, env))
+            << "prefix, seed " << GetParam() << " round " << round;
+      for (Expr c : asms)
+        EXPECT_TRUE(expr::evalBool(c, env))
+            << "assumption, seed " << GetParam() << " round " << round;
+    }
+  }
+  // And the bare prefix must still agree after all the assumption rounds.
+  EXPECT_EQ(z3->check(), mini->check()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniVsZ3Assuming,
+                         ::testing::Range<uint64_t>(0, 30));
+
+// ---- Incremental vs fresh: race verdicts on the corpus ------------------------
+
+TEST(IncrementalRaceAgreementTest, CorpusVerdictsMatchFreshAtEveryJobCount) {
+  const uint32_t width = 8;
+  std::vector<std::string> names;
+  for (const auto& e : kernels::corpus()) names.push_back(e.name);
+  check::VerificationSession session(kernels::combinedSource(names, width));
+
+  auto runBatch = [&](bool incremental, unsigned jobs) {
+    std::vector<check::CheckRequest> reqs;
+    for (const auto& name : names) {
+      check::CheckRequest r;
+      r.kind = check::CheckKind::Races;
+      r.kernel = name;
+      r.options.method = check::Method::Parameterized;
+      r.options.width = width;
+      r.options.incrementalSolving = incremental;
+      r.options.solverTimeoutMs = 120000;
+      reqs.push_back(std::move(r));
+    }
+    engine::EngineOptions eo;
+    eo.jobs = jobs;
+    engine::VerificationEngine eng(eo);
+    return eng.runAll(session, reqs);
+  };
+
+  const auto fresh = runBatch(false, 1);
+  ASSERT_EQ(fresh.size(), names.size());
+  for (unsigned jobs : {1u, 2u, 4u}) {
+    const auto inc = runBatch(true, jobs);
+    ASSERT_EQ(inc.size(), fresh.size());
+    for (size_t i = 0; i < fresh.size(); ++i)
+      EXPECT_EQ(inc[i].report.outcome, fresh[i].report.outcome)
+          << names[i] << " jobs=" << jobs << "\nfresh: "
+          << fresh[i].report.str() << "\nincremental: "
+          << inc[i].report.str();
+  }
+}
+
+}  // namespace
+}  // namespace pugpara::smt
