@@ -1,0 +1,231 @@
+// Ablation F: the tiered query-discharge pipeline (abstract-domain Tier 0
+// plus cone-of-influence slicing Tier 1) versus posing every pair query to
+// the solver directly. Three claims, measured separately:
+//
+//  * Discharge rate — on the full corpus race workload, the share of pair
+//    queries Tier 0 retires with zero solver calls. The pipeline pays for
+//    itself only if this is substantial (the acceptance bar is 40%).
+//  * Speedup — on the multi-query width-16 race workload, total solve time
+//    (which charges the prefilter's own cost honestly) must not regress on
+//    either backend.
+//  * Agreement — on the FULL corpus plus injected-bug mutants, prefilter
+//    on and off must return identical verdicts on both backends. The
+//    domain only ever proves Unsat, so any disagreement is a soundness bug
+//    and fails the run.
+//
+// Emits BENCH_prefilter.json next to the table for machine consumption.
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels/mutate.h"
+#include "support/json.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace pugpara;
+using namespace pugpara::bench;
+
+struct Task {
+  std::string label;  // display + JSON name
+  const check::VerificationSession* session;
+  std::string kernel;  // kernel to race-check inside `session`
+  uint32_t width;
+};
+
+struct ModeRun {
+  double solveSeconds = 0;
+  check::DischargeStats discharge;
+  std::vector<check::Outcome> outcomes;
+  std::vector<double> taskSeconds;
+};
+
+ModeRun runMode(const std::vector<Task>& tasks, smt::Backend backend,
+                bool prefilter) {
+  std::vector<engine::BoundCheck> checks;
+  for (const Task& t : tasks) {
+    check::CheckOptions o;
+    o.method = check::Method::Parameterized;
+    o.width = t.width;
+    o.backend = backend;
+    o.solverTimeoutMs = timeoutMs();
+    o.replayCounterexamples = false;
+    o.prefilter = prefilter;
+    checks.push_back(
+        {t.session, {check::CheckKind::Races, t.kernel, "", o, {}, 0}});
+  }
+  engine::VerificationEngine eng(benchEngineOptions());
+  std::vector<check::CheckResult> results = eng.runAll(checks);
+  ModeRun run;
+  for (const check::CheckResult& r : results) {
+    run.solveSeconds += r.report.solveSeconds;
+    run.discharge.tier0 += r.report.discharge.tier0;
+    run.discharge.sliced += r.report.discharge.sliced;
+    run.discharge.fullSmt += r.report.discharge.fullSmt;
+    run.discharge.solverCalls += r.report.discharge.solverCalls;
+    run.outcomes.push_back(r.report.outcome);
+    run.taskSeconds.push_back(r.report.solveSeconds);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: tiered query discharge (Tier 0 abstract domain + "
+              "Tier 1 slicing) vs direct solving\n\n");
+
+  // Sessions live for the whole run; tasks reference into them.
+  std::vector<std::unique_ptr<check::VerificationSession>> sessions;
+  auto corpusSession = [&](uint32_t width) {
+    std::vector<std::string> names;
+    for (const auto& e : kernels::corpus()) names.push_back(e.name);
+    sessions.push_back(std::make_unique<check::VerificationSession>(
+        kernels::combinedSource(names, width)));
+    return sessions.back().get();
+  };
+  struct MutantSpec {
+    const char* base;
+    kernels::MutationKind kind;
+    size_t site;
+  };
+  const MutantSpec mutantSpecs[] = {
+      {"transposeOpt", kernels::MutationKind::AddressOffByOne, 3},
+      {"reduceStrided", kernels::MutationKind::AddressOffByOne, 2},
+  };
+  auto mutantTask = [&](const MutantSpec& m, uint32_t width) {
+    auto prog =
+        lang::parseAndAnalyze(kernels::combinedSource({m.base}, width));
+    auto mutant = kernels::mutateAt(*prog->kernels[0], m.kind, m.site);
+    std::string mutantName = mutant.kernel->name;
+    prog->kernels.push_back(std::move(mutant.kernel));
+    sessions.push_back(
+        std::make_unique<check::VerificationSession>(std::move(prog)));
+    return Task{std::string(m.base) + "+bug", sessions.back().get(),
+                mutantName, width};
+  };
+
+  // Speedup workload: the multi-query race checks (several pair queries
+  // per interval — where discharged queries actually buy wall-clock time)
+  // at the paper's default 16-bit width, plus the racy reduceStrided
+  // mutant so the Sat path (where Tier 0 can only cost) is priced in.
+  const check::VerificationSession* speed16 = corpusSession(16);
+  std::vector<Task> speedTasks;
+  for (const char* name : {"reduceMod", "reduceStrided", "reduceSequential",
+                           "scanNaive", "scalarProd", "racyHistogram"})
+    speedTasks.push_back({name, speed16, name, 16});
+  speedTasks.push_back(mutantTask(mutantSpecs[1], 8));
+
+  // Agreement + discharge-rate workload: the full corpus at 8 bits plus
+  // the mutants. The discharge rate is measured here, across every race
+  // pair query the corpus poses.
+  const check::VerificationSession* agree8 = corpusSession(8);
+  std::vector<Task> agreeTasks;
+  for (const auto& e : kernels::corpus())
+    agreeTasks.push_back({e.name, agree8, e.name, 8});
+  for (const MutantSpec& m : mutantSpecs)
+    agreeTasks.push_back(mutantTask(m, 8));
+
+  const bool verbose = std::getenv("PUGPARA_BENCH_VERBOSE") != nullptr;
+  printRow("Backend", {"off (s)", "on (s)", "speedup", "tier0", "verdicts"});
+  bool allAgree = true;
+  double bestSpeedup = 0;
+  double corpusTier0Rate = 0;
+  std::string jsonBackends;
+  for (smt::Backend backend : {smt::Backend::Z3, smt::Backend::Mini}) {
+    const char* bname = backend == smt::Backend::Z3 ? "Z3" : "MiniSMT";
+    const ModeRun sOff = runMode(speedTasks, backend, false);
+    const ModeRun sOn = runMode(speedTasks, backend, true);
+    const ModeRun aOff = runMode(agreeTasks, backend, false);
+    const ModeRun aOn = runMode(agreeTasks, backend, true);
+
+    const bool agree =
+        sOff.outcomes == sOn.outcomes && aOff.outcomes == aOn.outcomes;
+    allAgree = allAgree && agree;
+    const double speedup =
+        sOn.solveSeconds > 0 ? sOff.solveSeconds / sOn.solveSeconds : 0;
+    bestSpeedup = std::max(bestSpeedup, speedup);
+    const uint64_t queries = aOn.discharge.queries();
+    const double tier0Rate =
+        queries > 0 ? static_cast<double>(aOn.discharge.tier0) / queries : 0;
+    corpusTier0Rate = std::max(corpusTier0Rate, tier0Rate);
+    char off[32], on[32], sp[32], t0[32];
+    std::snprintf(off, sizeof off, "%.3f", sOff.solveSeconds);
+    std::snprintf(on, sizeof on, "%.3f", sOn.solveSeconds);
+    std::snprintf(sp, sizeof sp, "%.2fx", speedup);
+    std::snprintf(t0, sizeof t0, "%.0f%%", 100 * tier0Rate);
+    printRow(bname, {off, on, sp, t0, agree ? "agree" : "DISAGREE"});
+    if (verbose)
+      for (size_t i = 0; i < speedTasks.size(); ++i)
+        std::printf("  %-22s off %7.3fs  on %7.3fs\n",
+                    speedTasks[i].label.c_str(), sOff.taskSeconds[i],
+                    sOn.taskSeconds[i]);
+    auto reportDisagreements = [&](const std::vector<Task>& tasks,
+                                   const ModeRun& f, const ModeRun& p) {
+      for (size_t i = 0; i < tasks.size(); ++i)
+        if (f.outcomes[i] != p.outcomes[i])
+          std::printf("  %s (w=%u): off=%s on=%s\n", tasks[i].label.c_str(),
+                      tasks[i].width, check::toString(f.outcomes[i]),
+                      check::toString(p.outcomes[i]));
+    };
+    if (!agree) {
+      reportDisagreements(speedTasks, sOff, sOn);
+      reportDisagreements(agreeTasks, aOff, aOn);
+    }
+
+    std::string perTask;
+    for (size_t i = 0; i < agreeTasks.size(); ++i) {
+      if (i != 0) perTask += ",";
+      perTask += "{\"task\":" + json::quote(agreeTasks[i].label) +
+                 ",\"off\":" + json::quote(check::toString(aOff.outcomes[i])) +
+                 ",\"on\":" + json::quote(check::toString(aOn.outcomes[i])) +
+                 "}";
+    }
+    if (!jsonBackends.empty()) jsonBackends += ",";
+    jsonBackends +=
+        "{\"backend\":" + json::quote(bname) +
+        ",\"off_solve_seconds\":" + json::number(sOff.solveSeconds) +
+        ",\"on_solve_seconds\":" + json::number(sOn.solveSeconds) +
+        ",\"speedup\":" + json::number(speedup) +
+        ",\"corpus_queries\":" + std::to_string(queries) +
+        ",\"corpus_tier0_discharged\":" +
+        std::to_string(aOn.discharge.tier0) +
+        ",\"corpus_tier0_rate\":" + json::number(tier0Rate) +
+        ",\"corpus_sliced\":" + std::to_string(aOn.discharge.sliced) +
+        ",\"corpus_full_smt\":" + std::to_string(aOn.discharge.fullSmt) +
+        ",\"corpus_solver_calls_on\":" +
+        std::to_string(aOn.discharge.solverCalls) +
+        ",\"corpus_solver_calls_off\":" +
+        std::to_string(aOff.discharge.solverCalls) +
+        ",\"verdicts_agree\":" + (agree ? "true" : "false") +
+        ",\"corpus_verdicts\":[" + perTask + "]}";
+  }
+
+  std::string out =
+      "{\"bench\":\"prefilter\",\"speedup_width\":16,"
+      "\"agreement_width\":8,\"timeout_ms\":" +
+      std::to_string(timeoutMs()) + ",\"jobs\":" +
+      std::to_string(benchJobs()) + ",\"speedup_tasks\":" +
+      std::to_string(speedTasks.size()) + ",\"agreement_tasks\":" +
+      std::to_string(agreeTasks.size()) +
+      ",\"corpus_tier0_rate\":" + json::number(corpusTier0Rate) +
+      ",\"backends\":[" + jsonBackends + "]}";
+  if (std::FILE* f = std::fopen("BENCH_prefilter.json", "w")) {
+    std::fprintf(f, "%s\n", out.c_str());
+    std::fclose(f);
+    std::printf("\nwrote BENCH_prefilter.json\n");
+  } else {
+    std::printf("\ncould not write BENCH_prefilter.json\n");
+  }
+
+  std::printf("tier0 discharge rate: %.0f%%; best speedup: %.2fx; "
+              "verdicts %s\n",
+              100 * corpusTier0Rate, bestSpeedup,
+              allAgree ? "agree on every task (both backends)"
+                       : "DISAGREE — the abstract domain is unsound");
+  // CI contract: identical verdicts are a hard failure if violated (the
+  // domain may only ever prove Unsat). The discharge rate and speedup are
+  // reported; BENCH_prefilter.json carries the measurements.
+  return allAgree ? 0 : 1;
+}

@@ -21,6 +21,11 @@ echo "== tier-1: incremental-solving ablation (verdict agreement + speedup) =="
 # also emits BENCH_incremental.json with the measured speedups.
 (cd build && ./bench/ablate_incremental)
 
+echo "== tier-1: prefilter ablation (verdict agreement + tier-0 rate) =="
+# Fails when the tiered prefilter changes any verdict (corpus + injected-bug
+# mutants); also emits BENCH_prefilter.json with discharge rates and speedups.
+(cd build && ./bench/ablate_prefilter)
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan stage skipped (--skip-tsan) =="
   exit 0

@@ -1,0 +1,116 @@
+#include "abstract/affine.h"
+
+#include "expr/context.h"
+
+namespace pugpara::abstract {
+
+namespace {
+
+using expr::Expr;
+using expr::Kind;
+using expr::maskToWidth;
+
+// Beyond this many terms the form stops paying for itself; collapse to one
+// opaque term instead (still exact — just no visible structure).
+constexpr size_t kMaxTerms = 12;
+
+/// Opaque terms drop ZeroExt wrappers: the value is identical and the
+/// narrower node carries a tighter implicit range.
+const expr::Node* stripZeroExt(Expr e) {
+  while (e.kind() == Kind::BvZeroExt) e = e.kid(0);
+  return e.node();
+}
+
+}  // namespace
+
+AffineForm afConst(uint64_t v, uint32_t width) {
+  return {width, maskToWidth(v, width), {}};
+}
+
+AffineForm afTerm(const expr::Node* n, uint32_t width) {
+  return {width, 0, {{n, 1}}};
+}
+
+AffineForm afAdd(const AffineForm& a, const AffineForm& b) {
+  AffineForm r{a.width, maskToWidth(a.constant + b.constant, a.width), {}};
+  size_t i = 0, j = 0;
+  while (i < a.terms.size() || j < b.terms.size()) {
+    if (j == b.terms.size() ||
+        (i < a.terms.size() && a.terms[i].node->id < b.terms[j].node->id)) {
+      r.terms.push_back(a.terms[i++]);
+    } else if (i == a.terms.size() ||
+               b.terms[j].node->id < a.terms[i].node->id) {
+      r.terms.push_back(b.terms[j++]);
+    } else {
+      const uint64_t c =
+          maskToWidth(a.terms[i].coeff + b.terms[j].coeff, a.width);
+      if (c != 0) r.terms.push_back({a.terms[i].node, c});
+      ++i, ++j;
+    }
+  }
+  return r;
+}
+
+AffineForm afNeg(const AffineForm& a) {
+  AffineForm r{a.width, maskToWidth(~a.constant + 1, a.width), a.terms};
+  for (AffineForm::Term& t : r.terms)
+    t.coeff = maskToWidth(~t.coeff + 1, a.width);
+  return r;
+}
+
+AffineForm afSub(const AffineForm& a, const AffineForm& b) {
+  return afAdd(a, afNeg(b));
+}
+
+AffineForm afScale(const AffineForm& a, uint64_t c) {
+  c = maskToWidth(c, a.width);
+  if (c == 0) return afConst(0, a.width);
+  AffineForm r{a.width, maskToWidth(a.constant * c, a.width), {}};
+  for (const AffineForm::Term& t : a.terms) {
+    const uint64_t tc = maskToWidth(t.coeff * c, a.width);
+    if (tc != 0) r.terms.push_back({t.node, tc});
+  }
+  return r;
+}
+
+const AffineForm& AffineExtractor::extract(Expr e) {
+  auto it = memo_.find(e.node());
+  if (it != memo_.end()) return it->second;
+  AffineForm f = compute(e);
+  if (f.terms.size() > kMaxTerms)
+    f = afTerm(stripZeroExt(e), e.sort().width());
+  return memo_.emplace(e.node(), std::move(f)).first->second;
+}
+
+AffineForm AffineExtractor::compute(Expr e) {
+  const uint32_t w = e.sort().width();
+  switch (e.kind()) {
+    case Kind::BvConst:
+      return afConst(e.bvValue(), w);
+    case Kind::BvAdd:
+      return afAdd(extract(e.kid(0)), extract(e.kid(1)));
+    case Kind::BvSub:
+      return afSub(extract(e.kid(0)), extract(e.kid(1)));
+    case Kind::BvNeg:
+      return afNeg(extract(e.kid(0)));
+    case Kind::BvMul:
+      if (e.kid(0).isBvConst())
+        return afScale(extract(e.kid(1)), e.kid(0).bvValue());
+      if (e.kid(1).isBvConst())
+        return afScale(extract(e.kid(0)), e.kid(1).bvValue());
+      break;
+    case Kind::BvShl:
+      // x << c is x * 2^c modulo 2^w (a shift of >= w bits zeroes out).
+      if (e.kid(1).isBvConst()) {
+        const uint64_t c = e.kid(1).bvValue();
+        if (c >= w) return afConst(0, w);
+        return afScale(extract(e.kid(0)), uint64_t{1} << c);
+      }
+      break;
+    default:
+      break;
+  }
+  return afTerm(stripZeroExt(e), w);
+}
+
+}  // namespace pugpara::abstract

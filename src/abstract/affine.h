@@ -1,0 +1,67 @@
+// Affine-form extraction over the hash-consed expr DAG: every bit-vector
+// expression is rendered as
+//
+//     c0 + c1*t1 + c2*t2 + ... (mod 2^w)
+//
+// where the coefficients are known constants and the terms t_i are opaque
+// DAG nodes the extractor chose not to look inside (variables, products of
+// two symbolic factors, URem nodes, selects, ...). The rendering is EXACT:
+// because +, -, * and shift-by-constant are ring homomorphisms modulo 2^w,
+// the affine form evaluates to the same value as the original expression
+// under every assignment. Anything the extractor cannot distribute simply
+// becomes a single opaque term with coefficient 1, so extraction never
+// fails and never loses soundness — only precision.
+//
+// ZeroExt wrappers are stripped from opaque terms (the value is unchanged;
+// the narrower node keeps its tighter implicit range [0, 2^narrow)), which
+// is why a term's bit-width may be smaller than the form's width — never
+// larger.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pugpara::abstract {
+
+struct AffineForm {
+  struct Term {
+    const expr::Node* node = nullptr;
+    uint64_t coeff = 0;  // masked to `width`, never zero
+  };
+
+  uint32_t width = 0;
+  uint64_t constant = 0;    // masked to `width`
+  std::vector<Term> terms;  // sorted by node id, unique nodes
+
+  /// Exactly `1*t` with no constant — the shape the domain's equality and
+  /// bound rules key on.
+  [[nodiscard]] bool isUnitTerm() const {
+    return constant == 0 && terms.size() == 1 && terms[0].coeff == 1;
+  }
+  [[nodiscard]] bool isConstant() const { return terms.empty(); }
+};
+
+[[nodiscard]] AffineForm afConst(uint64_t v, uint32_t width);
+[[nodiscard]] AffineForm afTerm(const expr::Node* n, uint32_t width);
+[[nodiscard]] AffineForm afAdd(const AffineForm& a, const AffineForm& b);
+[[nodiscard]] AffineForm afNeg(const AffineForm& a);
+[[nodiscard]] AffineForm afSub(const AffineForm& a, const AffineForm& b);
+[[nodiscard]] AffineForm afScale(const AffineForm& a, uint64_t c);
+
+/// Memoizing extractor. The memo is environment-free (extraction depends
+/// only on the node, and nodes are immutable), so one extractor can be
+/// shared across every query of a whole check run.
+class AffineExtractor {
+ public:
+  /// `e` must be bit-vector sorted.
+  const AffineForm& extract(expr::Expr e);
+
+ private:
+  AffineForm compute(expr::Expr e);
+  std::unordered_map<const expr::Node*, AffineForm> memo_;
+};
+
+}  // namespace pugpara::abstract

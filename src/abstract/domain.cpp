@@ -1,0 +1,567 @@
+#include "abstract/domain.h"
+
+#include <algorithm>
+
+#include "expr/context.h"
+
+namespace pugpara::abstract {
+
+namespace {
+
+using expr::Expr;
+using expr::Kind;
+using expr::maskToWidth;
+
+constexpr int kMaxRounds = 6;
+constexpr int kMaxEqDepth = 8;
+
+// Tier 0 is built for pair queries: a shared interval prefix plus a few
+// per-pair assumptions, tens of atoms at most. Beyond these sizes (whole
+// equivalence VCs for unrolled kernels) the quadratic congruence pass and
+// the fixpoint stop paying for themselves — bail out and let the solver
+// have the query. Giving up early is always sound: provesUnsat() just
+// answers "don't know".
+constexpr size_t kMaxAtoms = 512;
+constexpr size_t kMaxCongruenceCands = 96;
+
+// Affine arithmetic is exact only while maskToWidth models the ring; wider
+// sorts (the 2w-wide overflow-free products) are treated as opaque.
+constexpr uint32_t kMaxWidth = 64;
+
+constexpr __int128 i128Max() { return ~(__int128{1} << 127); }
+constexpr __int128 i128Min() { return __int128{1} << 127; }
+
+bool checkedAdd(__int128& acc, __int128 v) {
+  if (v > 0 && acc > i128Max() - v) return false;
+  if (v < 0 && acc < i128Min() - v) return false;
+  acc += v;
+  return true;
+}
+
+/// Minimum-magnitude signed representative of `c` modulo 2^w.
+__int128 signedRep(uint64_t c, uint32_t w) {
+  if (w >= 64)
+    return static_cast<__int128>(static_cast<int64_t>(c));
+  const uint64_t half = uint64_t{1} << (w - 1);
+  if (c <= half) return static_cast<__int128>(c);
+  return static_cast<__int128>(c) - (static_cast<__int128>(1) << w);
+}
+
+Range fullRange(const expr::Node* n) {
+  const uint32_t w = n->sort.width();
+  return {0, w >= 64 ? UINT64_MAX : (uint64_t{1} << w) - 1};
+}
+
+/// Multiplicative inverse of odd `a` modulo 2^w (Newton iteration).
+uint64_t modInverse(uint64_t a, uint32_t w) {
+  uint64_t x = a;  // correct to 3 bits for odd a
+  for (int i = 0; i < 6; ++i) x *= 2 - a * x;
+  return maskToWidth(x, w);
+}
+
+bool floorDivGeCeilDiv(__int128 hi, __int128 lo, __int128 m) {
+  __int128 qh = hi / m;
+  if (hi % m != 0 && hi < 0) --qh;
+  __int128 ql = lo / m;
+  if (lo % m != 0 && lo > 0) ++ql;
+  return qh >= ql;
+}
+
+}  // namespace
+
+void ConstraintSystem::add(Expr c) {
+  if (oversize_) return;
+  if (c.isBoolConst()) {
+    if (c.isFalse()) contradiction_ = true;
+    return;
+  }
+  if (++atoms_ > kMaxAtoms) {
+    oversize_ = true;
+    return;
+  }
+  switch (c.kind()) {
+    case Kind::And: {
+      // Iterative: the non-parameterized encoders emit And-chains tens of
+      // thousands of conjuncts deep.
+      std::vector<Expr> stack;
+      for (size_t i = c.arity(); i > 0; --i) stack.push_back(c.kid(i - 1));
+      while (!stack.empty() && !oversize_) {
+        const Expr k = stack.back();
+        stack.pop_back();
+        if (k.kind() == Kind::And)
+          for (size_t i = k.arity(); i > 0; --i) stack.push_back(k.kid(i - 1));
+        else
+          add(k);
+      }
+      return;
+    }
+    case Kind::Eq:
+      if (c.kid(0).sort().isBv() && c.kid(0).sort().width() <= kMaxWidth) {
+        eqs_.emplace_back(c.kid(0), c.kid(1));
+        minePow2(c.kid(0), c.kid(1));
+        minePow2(c.kid(1), c.kid(0));
+      }
+      return;
+    case Kind::Not: {
+      const Expr inner = c.kid(0);
+      if (inner.kind() == Kind::Eq && inner.kid(0).sort().isBv() &&
+          inner.kid(0).sort().width() <= kMaxWidth)
+        diseqs_.emplace_back(inner.kid(0), inner.kid(1));
+      else if (inner.isVar())
+        addBoolLit(inner.node(), false);
+      return;
+    }
+    case Kind::BvUlt:
+    case Kind::BvUle:
+      if (c.kid(0).sort().width() <= kMaxWidth)
+        cmps_.push_back({c.kid(0), c.kid(1), c.kind() == Kind::BvUlt});
+      return;
+    case Kind::Var:
+      addBoolLit(c.node(), true);
+      return;
+    case Kind::Or: {
+      std::vector<Expr> disjuncts;
+      std::vector<Expr> stack{c};
+      while (!stack.empty()) {
+        const Expr d = stack.back();
+        stack.pop_back();
+        if (d.kind() == Kind::Or)
+          for (size_t i = 0; i < d.arity(); ++i) stack.push_back(d.kid(i));
+        else
+          disjuncts.push_back(d);
+      }
+      ors_.push_back(std::move(disjuncts));
+      return;
+    }
+    default:
+      return;  // unparsed conjuncts cost precision, never soundness
+  }
+}
+
+void ConstraintSystem::minePow2(Expr x, Expr y) {
+  // k & (k - 1) == 0: k is zero or a power of two, so k <= 2^(w-1). The
+  // corpus' doubling loops carry exactly this invariant.
+  if (!(y.isBvConst() && y.bvValue() == 0)) return;
+  if (x.kind() != Kind::BvAnd) return;
+  const uint32_t w = x.sort().width();
+  if (w >= 64) return;
+  auto match = [&](Expr p, Expr q) {
+    if (q.kind() == Kind::BvSub && q.kid(0) == p && q.kid(1).isBvConst() &&
+        q.kid(1).bvValue() == 1)
+      pow2Caps_.emplace_back(p.node(), uint64_t{1} << (w - 1));
+  };
+  match(x.kid(0), x.kid(1));
+  match(x.kid(1), x.kid(0));
+}
+
+void ConstraintSystem::addBoolLit(const expr::Node* n, bool value) {
+  auto [it, inserted] = boolLits_.emplace(n, value);
+  if (!inserted && it->second != value) contradiction_ = true;
+}
+
+const expr::Node* ConstraintSystem::find(const expr::Node* n) {
+  auto it = parent_.find(n);
+  if (it == parent_.end()) return n;
+  const expr::Node* root = find(it->second);
+  it->second = root;
+  return root;
+}
+
+Range& ConstraintSystem::rangeSlot(const expr::Node* n) {
+  const expr::Node* rep = find(n);
+  auto [it, inserted] = ranges_.try_emplace(rep, fullRange(n));
+  if (inserted && rep != n) {
+    const Range cap = fullRange(rep);
+    it->second.lo = std::max(it->second.lo, cap.lo);
+    it->second.hi = std::min(it->second.hi, cap.hi);
+  } else if (!inserted) {
+    // `n` joined a class whose slot predates it: apply n's width cap.
+    const Range cap = fullRange(n);
+    if (cap.hi < it->second.hi) {
+      it->second.hi = cap.hi;
+      changed_ = true;
+    }
+  }
+  if (it->second.lo > it->second.hi) contradiction_ = true;
+  return it->second;
+}
+
+void ConstraintSystem::narrow(const expr::Node* n, uint64_t lo, uint64_t hi) {
+  Range& r = rangeSlot(n);
+  if (lo > r.lo) {
+    r.lo = lo;
+    changed_ = true;
+  }
+  if (hi < r.hi) {
+    r.hi = hi;
+    changed_ = true;
+  }
+  if (r.lo > r.hi) contradiction_ = true;
+}
+
+void ConstraintSystem::unite(const expr::Node* a, const expr::Node* b) {
+  const expr::Node* ra = find(a);
+  const expr::Node* rb = find(b);
+  if (ra == rb) return;
+  const Range x = rangeSlot(ra);
+  const Range y = rangeSlot(rb);
+  const expr::Node* keep = ra->id <= rb->id ? ra : rb;
+  const expr::Node* drop = keep == ra ? rb : ra;
+  parent_[drop] = keep;
+  ranges_.erase(drop);
+  Range merged{std::max(x.lo, y.lo), std::min(x.hi, y.hi)};
+  if (merged.lo > merged.hi) contradiction_ = true;
+  ranges_[keep] = merged;
+  changed_ = true;
+}
+
+AffineForm ConstraintSystem::resolve(const AffineForm& f) {
+  AffineForm r{f.width, f.constant, {}};
+  std::vector<AffineForm::Term> mapped;
+  for (const AffineForm::Term& t : f.terms) {
+    const Range& rng = rangeSlot(t.node);
+    if (rng.lo == rng.hi) {
+      r.constant = maskToWidth(r.constant + t.coeff * rng.lo, f.width);
+      continue;
+    }
+    mapped.push_back({find(t.node), t.coeff});
+  }
+  std::sort(mapped.begin(), mapped.end(),
+            [](const AffineForm::Term& a, const AffineForm::Term& b) {
+              return a.node->id < b.node->id;
+            });
+  for (const AffineForm::Term& t : mapped) {
+    if (!r.terms.empty() && r.terms.back().node == t.node) {
+      const uint64_t c = maskToWidth(r.terms.back().coeff + t.coeff, f.width);
+      if (c == 0)
+        r.terms.pop_back();
+      else
+        r.terms.back().coeff = c;
+    } else {
+      r.terms.push_back(t);
+    }
+  }
+  return r;
+}
+
+AffineForm ConstraintSystem::resolved(Expr e) { return resolve(ex_.extract(e)); }
+
+std::pair<__int128, __int128> ConstraintSystem::intRange(const AffineForm& f) {
+  __int128 lo = static_cast<__int128>(f.constant);
+  __int128 hi = lo;
+  bool ok = true;
+  for (const AffineForm::Term& t : f.terms) {
+    const Range r = rangeSlot(t.node);
+    const __int128 sc = signedRep(t.coeff, f.width);
+    const __int128 a = sc * static_cast<__int128>(r.lo);
+    const __int128 b = sc * static_cast<__int128>(r.hi);
+    ok = ok && checkedAdd(lo, sc >= 0 ? a : b) &&
+         checkedAdd(hi, sc >= 0 ? b : a);
+  }
+  if (!ok) return {i128Min(), i128Max()};  // unbounded, conservatively
+  return {lo, hi};
+}
+
+std::optional<Range> ConstraintSystem::noWrapRange(const AffineForm& f) {
+  if (f.width > kMaxWidth) return std::nullopt;
+  const auto [lo, hi] = intRange(f);
+  const __int128 cap = f.width >= 64
+                           ? static_cast<__int128>(UINT64_MAX)
+                           : (static_cast<__int128>(1) << f.width) - 1;
+  if (lo < 0 || hi > cap) return std::nullopt;
+  return Range{static_cast<uint64_t>(lo), static_cast<uint64_t>(hi)};
+}
+
+std::optional<uint64_t> ConstraintSystem::minVal(Expr e) {
+  const auto r = noWrapRange(resolved(e));
+  if (!r) return std::nullopt;
+  return r->lo;
+}
+
+std::optional<uint64_t> ConstraintSystem::maxVal(Expr e) {
+  const auto r = noWrapRange(resolved(e));
+  if (!r) return std::nullopt;
+  return r->hi;
+}
+
+Range ConstraintSystem::rangeOf(const expr::Node* n) { return rangeSlot(n); }
+
+bool ConstraintSystem::provablyDisjoint(Expr x, Expr y) {
+  if (!x.sort().isBv() || x.sort() != y.sort() ||
+      x.sort().width() > kMaxWidth)
+    return false;
+  const AffineForm f = resolve(afSub(resolved(x), resolved(y)));
+  if (f.isConstant()) return f.constant != 0;
+  const uint32_t w = f.width;
+  // Interval rule: the difference's integer range contains no multiple of
+  // 2^w, so the difference cannot be 0 modulo 2^w.
+  const auto [lo, hi] = intRange(f);
+  if (lo > i128Min() && hi < i128Max() &&
+      !floorDivGeCeilDiv(hi, lo, static_cast<__int128>(1) << w))
+    return true;
+  // Stride/congruence rule: every coefficient is divisible by 2^K but the
+  // constant is not, so the difference is nonzero modulo 2^K.
+  uint32_t k = w;
+  for (const AffineForm::Term& t : f.terms)
+    k = std::min(k, static_cast<uint32_t>(__builtin_ctzll(t.coeff)));
+  if (k > 0 && maskToWidth(f.constant, k) != 0) return true;
+  return boundSeparates(x, y) || boundSeparates(y, x);
+}
+
+bool ConstraintSystem::boundSeparates(Expr x, Expr y) {
+  // value(x) < value(u) (a mined symbolic bound) and value(y) >= value(u):
+  // both sides are integer facts — Ult/Ule compare actual values, and the
+  // >= side additionally needs y's affine form to be wrap-free.
+  const AffineForm fx = resolved(x);
+  if (!fx.isUnitTerm()) return false;
+  const expr::Node* t = find(fx.terms[0].node);
+  const AffineForm fy = resolved(y);
+  if (!noWrapRange(fy)) return false;
+  auto separates = [&](const expr::Node* u, uint64_t slack) {
+    if (u->sort.width() > fy.width) return false;
+    const AffineForm diff = resolve(afSub(fy, afTerm(u, fy.width)));
+    const auto [lo, hi] = intRange(diff);
+    (void)hi;
+    return lo > i128Min() && lo >= static_cast<__int128>(slack);
+  };
+  for (const auto& [a, u] : boundsStrict_)
+    if (find(a) == t && separates(find(u), 0)) return true;
+  for (const auto& [a, u] : boundsLax_)
+    if (find(a) == t && separates(find(u), 1)) return true;
+  return false;
+}
+
+bool ConstraintSystem::provablyEqual(Expr x, Expr y) {
+  return provablyEqualRec(x, y, 0);
+}
+
+bool ConstraintSystem::provablyEqualRec(Expr x, Expr y, int depth) {
+  if (x == y) return true;
+  if (x.sort() != y.sort()) return false;
+  if (x.sort().isBv() && x.sort().width() <= kMaxWidth) {
+    const AffineForm f = resolve(afSub(resolved(x), resolved(y)));
+    if (f.isConstant() && f.constant == 0) return true;
+  }
+  if (depth >= kMaxEqDepth) return false;
+  if (x.kind() != y.kind() || x.arity() != y.arity() || x.arity() == 0)
+    return false;
+  const expr::Node* nx = x.node();
+  const expr::Node* ny = y.node();
+  if (nx->a != ny->a || nx->b != ny->b || nx->cval != ny->cval) return false;
+  if (x.kind() == Kind::Forall || x.kind() == Kind::Exists) return false;
+  for (size_t i = 0; i < x.arity(); ++i)
+    if (!provablyEqualRec(x.kid(i), y.kid(i), depth + 1)) return false;
+  return true;
+}
+
+bool ConstraintSystem::refuted(Expr d) {
+  switch (d.kind()) {
+    case Kind::Not: {
+      const Expr inner = d.kid(0);
+      if (inner.kind() == Kind::Eq)
+        return provablyEqual(inner.kid(0), inner.kid(1));
+      if (inner.isVar()) {
+        auto it = boolLits_.find(inner.node());
+        return it != boolLits_.end() && it->second;
+      }
+      return false;
+    }
+    case Kind::Eq:
+      return d.kid(0).sort().isBv() &&
+             provablyDisjoint(d.kid(0), d.kid(1));
+    case Kind::BvUlt: {  // refute x < y: min(x) >= max(y)
+      const auto mx = minVal(d.kid(0));
+      const auto my = maxVal(d.kid(1));
+      return mx && my && *mx >= *my;
+    }
+    case Kind::BvUle: {  // refute x <= y: min(x) > max(y)
+      const auto mx = minVal(d.kid(0));
+      const auto my = maxVal(d.kid(1));
+      return mx && my && *mx > *my;
+    }
+    case Kind::Var: {
+      auto it = boolLits_.find(d.node());
+      return it != boolLits_.end() && !it->second;
+    }
+    default:
+      return false;
+  }
+}
+
+bool ConstraintSystem::cmpImpossible(const Cmp& c) {
+  const auto mx = minVal(c.x);
+  const auto my = maxVal(c.y);
+  if (!mx || !my) return false;
+  return c.strict ? *mx >= *my : *mx > *my;
+}
+
+void ConstraintSystem::propagateEq(Expr x, Expr y) {
+  const AffineForm f = resolve(afSub(resolved(x), resolved(y)));
+  const uint32_t w = f.width;
+  if (f.isConstant()) {
+    if (f.constant != 0) contradiction_ = true;
+    return;
+  }
+  if (f.terms.size() == 1 && (f.terms[0].coeff & 1) != 0) {
+    // c*t + c0 == 0 with odd c pins t to exactly one residue, and a term's
+    // value always fits its own width, so the residue is the value.
+    const uint64_t v = maskToWidth(
+        modInverse(f.terms[0].coeff, w) * maskToWidth(~f.constant + 1, w), w);
+    narrow(f.terms[0].node, v, v);
+    return;
+  }
+  if (f.terms.size() == 2 && f.constant == 0 &&
+      maskToWidth(f.terms[0].coeff + f.terms[1].coeff, w) == 0 &&
+      (f.terms[0].coeff & 1) != 0) {
+    // c*(t1 - t2) == 0 with odd c: t1 == t2 modulo 2^w, and both values
+    // fit below 2^w (term widths never exceed the form width), so the
+    // values are equal as integers.
+    unite(f.terms[0].node, f.terms[1].node);
+  }
+}
+
+void ConstraintSystem::propagateCmp(const Cmp& c) {
+  const AffineForm fx = resolved(c.x);
+  const AffineForm fy = resolved(c.y);
+  if (fx.isUnitTerm()) {
+    if (const auto ry = noWrapRange(fy)) {
+      if (c.strict && ry->hi == 0) {
+        contradiction_ = true;  // x < 0 is unsatisfiable (unsigned)
+        return;
+      }
+      narrow(fx.terms[0].node, 0, ry->hi - (c.strict ? 1 : 0));
+    }
+  }
+  if (fy.isUnitTerm()) {
+    if (const auto rx = noWrapRange(fx)) {
+      if (c.strict && rx->lo == UINT64_MAX) {
+        contradiction_ = true;
+        return;
+      }
+      narrow(fy.terms[0].node, rx->lo + (c.strict ? 1 : 0), UINT64_MAX);
+    }
+  }
+  if (fx.isUnitTerm() && fy.isUnitTerm())
+    (c.strict ? boundsStrict_ : boundsLax_)
+        .emplace_back(fx.terms[0].node, fy.terms[0].node);
+}
+
+void ConstraintSystem::congruenceRound() {
+  // Gather the opaque terms feeding any atom, then (a) merge nodes pinned
+  // to the same singleton value and (b) run one round of structural
+  // congruence: same operator, pairwise provably-equal children.
+  std::vector<const expr::Node*> cands;
+  std::unordered_map<const expr::Node*, bool> seen;
+  auto gather = [&](Expr e) {
+    if (!e.sort().isBv() || e.sort().width() > kMaxWidth) return;
+    for (const AffineForm::Term& t : ex_.extract(e).terms)
+      if (seen.emplace(t.node, true).second) cands.push_back(t.node);
+  };
+  for (const auto& [x, y] : eqs_) gather(x), gather(y);
+  for (const auto& [x, y] : diseqs_) gather(x), gather(y);
+  for (const Cmp& c : cmps_) gather(c.x), gather(c.y);
+  for (const auto& dis : ors_)
+    for (Expr d : dis) {
+      Expr atom = d.kind() == Kind::Not ? d.kid(0) : d;
+      if (atom.arity() == 2 && atom.kid(0).sort().isBv())
+        gather(atom.kid(0)), gather(atom.kid(1));
+    }
+
+  std::unordered_map<uint64_t, const expr::Node*> byValue;
+  for (const expr::Node* n : cands) {
+    const Range r = rangeSlot(n);
+    if (r.lo != r.hi) continue;
+    auto [it, inserted] = byValue.emplace(r.lo, n);
+    if (!inserted) unite(it->second, n);
+  }
+
+  if (cands.size() > kMaxCongruenceCands) return;  // quadratic pass below
+
+  auto kidEq = [&](Expr a, Expr b) {
+    if (a == b) return true;
+    if (!a.sort().isBv() || a.sort() != b.sort() ||
+        a.sort().width() > kMaxWidth)
+      return false;
+    const AffineForm f = resolve(afSub(resolved(a), resolved(b)));
+    return f.isConstant() && f.constant == 0;
+  };
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const expr::Node* a = cands[i];
+    if (a->kind == Kind::Var || a->kids.empty()) continue;
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      const expr::Node* b = cands[j];
+      if (find(a) == find(b)) continue;
+      if (a->kind != b->kind || a->a != b->a || a->b != b->b ||
+          a->cval != b->cval || a->sort != b->sort ||
+          a->kids.size() != b->kids.size() || b->kids.empty())
+        continue;
+      bool eq = true;
+      for (size_t k = 0; eq && k < a->kids.size(); ++k)
+        eq = kidEq(Expr(a->kids[k]), Expr(b->kids[k]));
+      if (eq) unite(a, b);
+    }
+  }
+}
+
+void ConstraintSystem::runFixpoint() {
+  int round = 0;
+  do {
+    changed_ = false;
+    boundsStrict_.clear();
+    boundsLax_.clear();
+    for (const auto& [n, cap] : pow2Caps_) narrow(n, 0, cap);
+    for (const auto& [x, y] : eqs_) {
+      propagateEq(x, y);
+      if (contradiction_) return;
+    }
+    for (const Cmp& c : cmps_) {
+      propagateCmp(c);
+      if (contradiction_) return;
+    }
+    for (const auto& [x, y] : diseqs_) {
+      // t != c shaves a matching range endpoint.
+      const AffineForm fx = resolved(x);
+      const AffineForm fy = resolved(y);
+      const AffineForm* unit = fx.isUnitTerm() ? &fx : nullptr;
+      const AffineForm* cst = fy.isConstant() ? &fy : nullptr;
+      if (!unit && fy.isUnitTerm()) unit = &fy;
+      if (!cst && fx.isConstant()) cst = &fx;
+      if (!unit || !cst) continue;
+      const Range r = rangeSlot(unit->terms[0].node);
+      const uint64_t c = cst->constant;
+      if (r.lo == c && r.hi == c) {
+        contradiction_ = true;
+        return;
+      }
+      if (r.lo == c) narrow(unit->terms[0].node, c + 1, r.hi);
+      else if (r.hi == c) narrow(unit->terms[0].node, r.lo, c - 1);
+    }
+    congruenceRound();
+    if (contradiction_) return;
+  } while (changed_ && ++round < kMaxRounds);
+}
+
+bool ConstraintSystem::provesUnsat() {
+  if (contradiction_) return true;
+  if (oversize_) return false;
+  runFixpoint();
+  if (contradiction_) return true;
+  for (const auto& [x, y] : eqs_)
+    if (provablyDisjoint(x, y)) return true;
+  for (const auto& [x, y] : diseqs_)
+    if (provablyEqual(x, y)) return true;
+  for (const Cmp& c : cmps_)
+    if (cmpImpossible(c)) return true;
+  for (const auto& disjuncts : ors_) {
+    bool all = !disjuncts.empty();
+    for (Expr d : disjuncts)
+      if (!refuted(d)) {
+        all = false;
+        break;
+      }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace pugpara::abstract

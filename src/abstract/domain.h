@@ -1,0 +1,123 @@
+// Interval x stride/congruence abstract domain over affine forms.
+//
+// A ConstraintSystem ingests the conjuncts of one query (prefix plus
+// per-pair assumptions), mines them into atoms — equalities, disequalities,
+// unsigned comparisons, disjunctions, boolean literals — and then tries to
+// derive a contradiction:
+//
+//   * value ranges  [lo, hi]  per DAG node (from domains `t < bdim`, guard
+//     bindings `t == c`, power-of-two loop invariants, ...),
+//   * an equality union-find over nodes (from affine equations with an odd
+//     cofactor and from one round of congruence closure),
+//   * symbolic strict bounds `value(x) < value(u)` between opaque terms,
+//   * exact mod-2^w reasoning on affine differences (a pair of addresses is
+//     disjoint when the integer range of their difference contains no
+//     multiple of 2^w, or when the difference's stride/congruence excludes
+//     residue 0).
+//
+// The one soundness invariant: provesUnsat() may only return true when the
+// conjunction is genuinely unsatisfiable. Ignoring an atom it cannot parse
+// merely weakens the conjunction, and proving a weaker set unsatisfiable is
+// still a proof — so unknown operators cost precision, never soundness.
+// The domain never claims satisfiability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "abstract/affine.h"
+#include "expr/expr.h"
+
+namespace pugpara::abstract {
+
+/// Inclusive unsigned value interval of one DAG node.
+struct Range {
+  uint64_t lo = 0;
+  uint64_t hi = UINT64_MAX;
+};
+
+class ConstraintSystem {
+ public:
+  explicit ConstraintSystem(AffineExtractor& ex) : ex_(ex) {}
+
+  /// Ingest one conjunct (top-level Ands are flattened internally).
+  void add(expr::Expr conjunct);
+
+  /// Runs derivation to fixpoint and scans for a contradiction. True means
+  /// the asserted conjunction is unsatisfiable (sound); false means "don't
+  /// know" — never "satisfiable".
+  [[nodiscard]] bool provesUnsat();
+
+  // Exposed for the white-box unit tests.
+  [[nodiscard]] bool provablyEqual(expr::Expr x, expr::Expr y);
+  [[nodiscard]] bool provablyDisjoint(expr::Expr x, expr::Expr y);
+  [[nodiscard]] Range rangeOf(const expr::Node* n);
+
+ private:
+  struct Cmp {
+    expr::Expr x, y;
+    bool strict = false;  // x < y vs x <= y (unsigned)
+  };
+
+  void mineEq(expr::Expr x, expr::Expr y);
+  void minePow2(expr::Expr x, expr::Expr y);
+  void addBoolLit(const expr::Node* n, bool value);
+
+  const expr::Node* find(const expr::Node* n);
+  void unite(const expr::Node* a, const expr::Node* b);
+  Range& rangeSlot(const expr::Node* n);
+  void narrow(const expr::Node* n, uint64_t lo, uint64_t hi);
+
+  /// Affine form of `e` with terms mapped onto union-find representatives
+  /// and singleton-range terms folded into the constant.
+  [[nodiscard]] AffineForm resolved(expr::Expr e);
+  [[nodiscard]] AffineForm resolve(const AffineForm& f);
+
+  /// Integer range of a resolved form: each coefficient takes its
+  /// minimum-magnitude signed representative, each term its value range.
+  /// Saturating arithmetic keeps the bounds conservative.
+  [[nodiscard]] std::pair<__int128, __int128> intRange(const AffineForm& f);
+  /// The form's exact integer value range when it provably does not wrap
+  /// modulo 2^width (so the mod is the identity).
+  [[nodiscard]] std::optional<Range> noWrapRange(const AffineForm& f);
+  [[nodiscard]] std::optional<uint64_t> minVal(expr::Expr e);
+  [[nodiscard]] std::optional<uint64_t> maxVal(expr::Expr e);
+
+  [[nodiscard]] bool provablyEqualRec(expr::Expr x, expr::Expr y, int depth);
+  /// diff is provably nonzero via a strict bound x < u with y >= u.
+  [[nodiscard]] bool boundSeparates(expr::Expr x, expr::Expr y);
+  [[nodiscard]] bool refuted(expr::Expr disjunct);
+  /// True when the asserted comparison cannot hold.
+  [[nodiscard]] bool cmpImpossible(const Cmp& c);
+
+  void runFixpoint();
+  void propagateEq(expr::Expr x, expr::Expr y);
+  void propagateCmp(const Cmp& c);
+  void congruenceRound();
+
+  AffineExtractor& ex_;
+  bool contradiction_ = false;
+  bool changed_ = false;
+  // Atom budget: Tier 0 targets pair queries, not whole-kernel formulas.
+  // Once the budget is blown, ingestion stops and provesUnsat() answers
+  // "don't know" without running the fixpoint.
+  size_t atoms_ = 0;
+  bool oversize_ = false;
+
+  std::vector<std::pair<expr::Expr, expr::Expr>> eqs_, diseqs_;
+  std::vector<Cmp> cmps_;
+  std::vector<std::vector<expr::Expr>> ors_;
+  std::unordered_map<const expr::Node*, bool> boolLits_;
+  std::vector<std::pair<const expr::Node*, uint64_t>> pow2Caps_;
+
+  std::unordered_map<const expr::Node*, const expr::Node*> parent_;
+  std::unordered_map<const expr::Node*, Range> ranges_;  // keyed by rep
+  // value(first) < value(second) / <= , between opaque term nodes.
+  std::vector<std::pair<const expr::Node*, const expr::Node*>> boundsStrict_,
+      boundsLax_;
+};
+
+}  // namespace pugpara::abstract

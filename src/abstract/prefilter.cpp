@@ -1,0 +1,85 @@
+#include "abstract/prefilter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "abstract/domain.h"
+#include "expr/walk.h"
+
+namespace pugpara::abstract {
+
+using expr::Expr;
+using expr::Kind;
+
+void flattenAnd(Expr e, std::vector<Expr>& out) {
+  std::unordered_set<const expr::Node*> seen;
+  for (const Expr& c : out) seen.insert(c.node());
+  std::vector<Expr> stack{e};
+  while (!stack.empty()) {
+    const Expr c = stack.back();
+    stack.pop_back();
+    if (c.isTrue()) continue;
+    if (c.kind() == Kind::And) {
+      // Reverse push keeps the conjuncts in source order.
+      for (size_t i = c.arity(); i > 0; --i) stack.push_back(c.kid(i - 1));
+      continue;
+    }
+    if (seen.insert(c.node()).second) out.push_back(c);
+  }
+}
+
+void Prefilter::setPrefix(std::span<const Expr> prefixConjuncts) {
+  prefix_.assign(prefixConjuncts.begin(), prefixConjuncts.end());
+}
+
+bool Prefilter::provesUnsat(std::span<const Expr> assumptions) {
+  ConstraintSystem sys(ex_);
+  for (Expr c : prefix_) sys.add(c);
+  for (Expr a : assumptions) sys.add(a);
+  return sys.provesUnsat();
+}
+
+const expr::Node* CoiSlicer::find(const expr::Node* n) const {
+  auto it = parent_.find(n);
+  if (it == parent_.end()) return n;
+  const expr::Node* root = find(it->second);
+  it->second = root;
+  return root;
+}
+
+void CoiSlicer::build(std::span<const Expr> prefixConjuncts) {
+  supports_.clear();
+  parent_.clear();
+  for (Expr c : prefixConjuncts) {
+    std::vector<const expr::Node*> vars;
+    for (Expr v : expr::freeVars(c)) vars.push_back(v.node());
+    if (c.kind() != Kind::Or) {
+      for (size_t i = 1; i < vars.size(); ++i) {
+        const expr::Node* a = find(vars[0]);
+        const expr::Node* b = find(vars[i]);
+        if (a != b) parent_[b] = a;
+      }
+    }
+    supports_.push_back(std::move(vars));
+  }
+}
+
+std::vector<size_t> CoiSlicer::relevant(
+    std::span<const Expr> queryExprs) const {
+  std::unordered_set<const expr::Node*> marked;
+  for (Expr e : queryExprs)
+    for (Expr v : expr::freeVars(e)) marked.insert(find(v.node()));
+  std::vector<size_t> out;
+  for (size_t i = 0; i < supports_.size(); ++i) {
+    bool hit = supports_[i].empty();  // var-free conjuncts are always kept
+    for (const expr::Node* v : supports_[i])
+      if (marked.count(find(v)) != 0) {
+        hit = true;
+        break;
+      }
+    if (hit) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pugpara::abstract

@@ -1,0 +1,70 @@
+// Tier 0 / Tier 1 of the query-discharge pipeline.
+//
+// Prefilter answers "is prefix AND assumptions provably unsatisfiable?"
+// using the abstract domain alone — zero solver calls. It is sound in one
+// direction only (a true answer is a proof of Unsat; false means "ask the
+// solver"), which is exactly the direction race/equivalence checking needs:
+// a discharged pair is a proven non-race, and anything uncertain still
+// reaches the solver.
+//
+// CoiSlicer implements Tier 1: the interval prefix's conjuncts are grouped
+// into variable-connected components (a union-find over each conjunct's
+// free-variable support set, computed once per interval), and a query only
+// needs the components its own free variables touch. A sliced Unsat is
+// final — the sliced formula is a subset of the full one. A sliced Sat or
+// Unknown proves nothing and must be escalated to the full prefix by the
+// caller, so any slicing heuristic is verdict-preserving.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "abstract/affine.h"
+#include "expr/expr.h"
+
+namespace pugpara::abstract {
+
+/// Appends the And-flattened conjuncts of `e` to `out`, dropping literal
+/// `true` and duplicate conjuncts.
+void flattenAnd(expr::Expr e, std::vector<expr::Expr>& out);
+
+class Prefilter {
+ public:
+  /// Replaces the shared prefix (already And-flattened).
+  void setPrefix(std::span<const expr::Expr> prefixConjuncts);
+
+  /// True when prefix AND assumptions is unsatisfiable in the abstract
+  /// domain. Never claims satisfiability.
+  [[nodiscard]] bool provesUnsat(std::span<const expr::Expr> assumptions);
+
+ private:
+  AffineExtractor ex_;  // memo persists across queries and prefixes
+  std::vector<expr::Expr> prefix_;
+};
+
+class CoiSlicer {
+ public:
+  /// Computes the support set of every conjunct and unions the variables
+  /// each non-disjunctive conjunct mentions into one component.
+  /// Disjunctions (the thread-distinctness clause) span every thread
+  /// variable and would otherwise glue all components together; they are
+  /// kept out of the merge and simply included in any slice that touches
+  /// one of their variables.
+  void build(std::span<const expr::Expr> prefixConjuncts);
+
+  /// Indices (sorted) of the prefix conjuncts in the cone of influence of
+  /// `queryExprs`' free variables.
+  [[nodiscard]] std::vector<size_t> relevant(
+      std::span<const expr::Expr> queryExprs) const;
+
+  [[nodiscard]] size_t size() const { return supports_.size(); }
+
+ private:
+  [[nodiscard]] const expr::Node* find(const expr::Node* n) const;
+
+  std::vector<std::vector<const expr::Node*>> supports_;  // per conjunct
+  mutable std::unordered_map<const expr::Node*, const expr::Node*> parent_;
+};
+
+}  // namespace pugpara::abstract

@@ -1,5 +1,6 @@
 #include "check/equiv_checker.h"
 
+#include "abstract/prefilter.h"
 #include "check/replay.h"
 #include "encode/equivalence.h"
 #include "para/vcgen.h"
@@ -46,6 +47,10 @@ Report runParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
   report.stats = vcs.stats;
 
   bool anyUnknown = false;
+  // Tier 0: each VC is a standalone conjunction (no shared prefix), so the
+  // abstract domain gets one shot at proving it unsatisfiable — i.e. the
+  // VC holds — before any solver sees it.
+  abstract::Prefilter prefilter;
   // Incremental mode: one solver serves the whole VC batch. The VCs share
   // summary subterms, so the backend encodes them once; each VC is posed
   // as a single assumption and retracts itself.
@@ -55,6 +60,16 @@ Report runParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
     shared->setTimeoutMs(options.solverTimeoutMs);
   }
   for (const auto& vc : vcs.vcs) {
+    if (options.prefilter) {
+      WallTimer pre;
+      const bool discharged =
+          prefilter.provesUnsat(std::span<const Expr>(&vc.formula, 1));
+      report.solveSeconds += pre.seconds();
+      if (discharged) {
+        ++report.discharge.tier0;
+        continue;
+      }
+    }
     std::unique_ptr<smt::Solver> fresh;
     if (shared == nullptr) {
       fresh = options.makeSolver();
@@ -68,6 +83,8 @@ Report runParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
             ? solver->checkAssuming(std::span<const Expr>(&vc.formula, 1))
             : solver->check();
     report.solveSeconds += solve.seconds();
+    ++report.discharge.solverCalls;
+    ++report.discharge.fullSmt;
     if (r == smt::CheckResult::Unknown) {
       anyUnknown = true;
       continue;
@@ -139,13 +156,29 @@ Report runNonParameterized(const lang::Kernel& src, const lang::Kernel& tgt,
   }
   encode::EquivalenceQuery q = encode::buildEquivalenceQuery(ctx, encS, encT);
 
+  if (options.prefilter) {
+    WallTimer pre;
+    abstract::Prefilter prefilter;
+    const Expr parts[] = {q.assumptions, q.outputsDiffer};
+    const bool discharged = prefilter.provesUnsat(parts);
+    report.solveSeconds = pre.seconds();
+    if (discharged) {
+      ++report.discharge.tier0;
+      report.outcome = Outcome::Verified;
+      report.detail = "equivalent for the " + grid.str() + " configuration";
+      report.totalSeconds = total.seconds();
+      return report;
+    }
+  }
   auto solver = options.makeSolver();
   solver->setTimeoutMs(options.solverTimeoutMs);
   solver->add(q.assumptions);
   solver->add(q.outputsDiffer);
   WallTimer solve;
   smt::CheckResult r = solver->check();
-  report.solveSeconds = solve.seconds();
+  report.solveSeconds += solve.seconds();
+  ++report.discharge.solverCalls;
+  ++report.discharge.fullSmt;
 
   switch (r) {
     case smt::CheckResult::Unsat:

@@ -49,6 +49,15 @@ struct CheckOptions {
   /// verdict cross-checks; both modes must agree on every corpus kernel).
   bool incrementalSolving = true;
 
+  /// Tiered query discharge: Tier 0 proves pair queries unsatisfiable in
+  /// the abstract interval/stride domain (zero solver calls), Tier 1 poses
+  /// surviving queries against a cone-of-influence slice of the prefix
+  /// (escalating to the full prefix whenever the slice fails to prove
+  /// Unsat). Both tiers only ever shortcut Unsat answers, so verdicts are
+  /// identical with the pipeline off — that equivalence is enforced by
+  /// bench/ablate_prefilter across the corpus and the injected-bug mutants.
+  bool prefilter = true;
+
   /// Validate counterexamples by concrete replay in the VM (on by default;
   /// this is what keeps bug-hunt mode's reports real).
   bool replayCounterexamples = true;

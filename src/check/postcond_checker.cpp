@@ -1,5 +1,6 @@
 #include "check/postcond_checker.h"
 
+#include "abstract/prefilter.h"
 #include "check/replay.h"
 #include "para/vcgen.h"
 #include "support/timer.h"
@@ -28,6 +29,8 @@ Report solveParamVcs(const lang::Kernel& kernel, expr::Context& ctx,
   const uint32_t width = options.width;
 
   bool anyUnknown = false;
+  // Tier 0: a VC the abstract domain proves unsatisfiable holds outright.
+  abstract::Prefilter prefilter;
   // Incremental mode: one solver serves the whole VC batch (the VCs share
   // summary subterms); each VC is a single self-retracting assumption.
   std::unique_ptr<smt::Solver> shared;
@@ -36,6 +39,16 @@ Report solveParamVcs(const lang::Kernel& kernel, expr::Context& ctx,
     shared->setTimeoutMs(options.solverTimeoutMs);
   }
   for (const auto& vc : vcs.vcs) {
+    if (options.prefilter) {
+      WallTimer pre;
+      const bool discharged =
+          prefilter.provesUnsat(std::span<const Expr>(&vc.formula, 1));
+      report.solveSeconds += pre.seconds();
+      if (discharged) {
+        ++report.discharge.tier0;
+        continue;
+      }
+    }
     std::unique_ptr<smt::Solver> fresh;
     if (shared == nullptr) {
       fresh = options.makeSolver();
@@ -49,6 +62,8 @@ Report solveParamVcs(const lang::Kernel& kernel, expr::Context& ctx,
             ? solver->checkAssuming(std::span<const Expr>(&vc.formula, 1))
             : solver->check();
     report.solveSeconds += solve.seconds();
+    ++report.discharge.solverCalls;
+    ++report.discharge.fullSmt;
     if (r == smt::CheckResult::Unknown) {
       anyUnknown = true;
       continue;
@@ -124,13 +139,29 @@ Report runNonParamPostcond(const lang::Kernel& kernel,
     violated = ctx.mkOr(violated, ctx.mkNot(pc.formula));
     for (Expr v : pc.specVars) witnesses.push_back(v);
   }
+  if (options.prefilter) {
+    WallTimer pre;
+    abstract::Prefilter prefilter;
+    const Expr parts[] = {enc.assumptions, violated};
+    const bool discharged = prefilter.provesUnsat(parts);
+    report.solveSeconds = pre.seconds();
+    if (discharged) {
+      ++report.discharge.tier0;
+      report.outcome = Outcome::Verified;
+      report.detail = "holds for the " + grid.str() + " configuration";
+      report.totalSeconds = total.seconds();
+      return report;
+    }
+  }
   auto solver = options.makeSolver();
   solver->setTimeoutMs(options.solverTimeoutMs);
   solver->add(enc.assumptions);
   solver->add(violated);
   WallTimer solve;
   smt::CheckResult r = solver->check();
-  report.solveSeconds = solve.seconds();
+  report.solveSeconds += solve.seconds();
+  ++report.discharge.solverCalls;
+  ++report.discharge.fullSmt;
 
   switch (r) {
     case smt::CheckResult::Unsat:
@@ -248,6 +279,8 @@ Report checkAsserts(const lang::Kernel& kernel, const CheckOptions& options) {
     WallTimer solve;
     smt::CheckResult r = solver->check();
     report.solveSeconds = solve.seconds();
+    ++report.discharge.solverCalls;
+    ++report.discharge.fullSmt;
     report.totalSeconds = total.seconds();
     report.outcome = r == smt::CheckResult::Unsat  ? Outcome::Verified
                      : r == smt::CheckResult::Sat ? Outcome::BugFound

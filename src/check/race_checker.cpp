@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "abstract/prefilter.h"
 #include "expr/subst.h"
 #include "para/loops.h"
 #include "para/vcgen.h"
@@ -126,25 +127,76 @@ class RaceChecker {
     return o;
   }
 
-  /// Decides prefix ∧ assumptions. Incremental mode poses it as an
-  /// assumption-only query on the interval's long-lived solver; fresh mode
-  /// rebuilds a solver per query (the pre-incremental baseline).
+  /// Decides prefix ∧ assumptions through the tiered pipeline: Tier 0
+  /// (abstract domain, zero solver calls), Tier 1 (cone-of-influence slice
+  /// of the prefix), full SMT. Both shortcut tiers only ever settle Unsat;
+  /// anything else escalates, so verdicts match the unfiltered path.
+  /// Incremental mode poses queries as assumption-only checks on the
+  /// interval's long-lived solver; fresh mode rebuilds a solver per query
+  /// (the pre-incremental baseline). The timer wraps the whole pipeline so
+  /// prefilter overhead is charged to solveSeconds honestly.
   smt::CheckResult query(std::initializer_list<Expr> assumptions) {
     WallTimer t;
-    smt::CheckResult r;
-    if (solver_ != nullptr) {
-      std::vector<Expr> asms(assumptions);
-      r = solver_->checkAssuming(asms);
-    } else {
-      auto s = options_.makeSolver();
-      s->setTimeoutMs(options_.solverTimeoutMs);
-      for (Expr p : prefix_) s->add(p);
-      for (Expr a : assumptions) s->add(a);
-      r = s->check();
-    }
+    smt::CheckResult r = queryTiered(std::vector<Expr>(assumptions));
     report_.solveSeconds += t.seconds();
     if (r == smt::CheckResult::Unknown) noteUnknown();
     return r;
+  }
+
+  smt::CheckResult queryTiered(const std::vector<Expr>& asms) {
+    if (prefilter_ != nullptr && prefilter_->provesUnsat(asms)) {
+      ++report_.discharge.tier0;
+      return smt::CheckResult::Unsat;
+    }
+    // Tier 1: try the cone-of-influence slice first. Unsat under a subset
+    // of the prefix is Unsat under all of it; Sat/Unknown proves nothing
+    // and falls through to the full query.
+    std::vector<size_t> rel;
+    bool trySlice = false;
+    if (prefilter_ != nullptr) {
+      rel = slicer_.relevant(asms);
+      trySlice = rel.size() < prefixConjuncts_.size();
+    }
+    if (solver_ != nullptr) {
+      if (prefilter_ != nullptr) {
+        if (trySlice) {
+          std::vector<Expr> lits;
+          for (size_t i : rel) lits.push_back(selectors_[i]);
+          lits.insert(lits.end(), asms.begin(), asms.end());
+          ++report_.discharge.solverCalls;
+          if (solver_->checkAssuming(lits) == smt::CheckResult::Unsat) {
+            ++report_.discharge.sliced;
+            return smt::CheckResult::Unsat;
+          }
+        }
+        std::vector<Expr> lits(selectors_);
+        lits.insert(lits.end(), asms.begin(), asms.end());
+        ++report_.discharge.solverCalls;
+        ++report_.discharge.fullSmt;
+        return solver_->checkAssuming(lits);
+      }
+      ++report_.discharge.solverCalls;
+      ++report_.discharge.fullSmt;
+      return solver_->checkAssuming(asms);
+    }
+    if (trySlice) {
+      auto s = options_.makeSolver();
+      s->setTimeoutMs(options_.solverTimeoutMs);
+      for (size_t i : rel) s->add(prefixConjuncts_[i]);
+      for (Expr a : asms) s->add(a);
+      ++report_.discharge.solverCalls;
+      if (s->check() == smt::CheckResult::Unsat) {
+        ++report_.discharge.sliced;
+        return smt::CheckResult::Unsat;
+      }
+    }
+    auto s = options_.makeSolver();
+    s->setTimeoutMs(options_.solverTimeoutMs);
+    for (Expr p : prefix_) s->add(p);
+    for (Expr a : asms) s->add(a);
+    ++report_.discharge.solverCalls;
+    ++report_.discharge.fullSmt;
+    return s->check();
   }
 
   void noteUnknown() {
@@ -177,6 +229,15 @@ class RaceChecker {
     sameBlockAb_ = sameBlock(a.inst, b.inst);
     prefix_ = {sum_.assumptions, active, a.inst.domain, b.inst.domain,
                a.inst.distinctFrom(b.inst)};
+    prefixConjuncts_.clear();
+    for (Expr p : prefix_) abstract::flattenAnd(p, prefixConjuncts_);
+    if (options_.prefilter) {
+      if (prefilter_ == nullptr)
+        prefilter_ = std::make_unique<abstract::Prefilter>();
+      prefilter_->setPrefix(prefixConjuncts_);
+      slicer_.build(prefixConjuncts_);
+    }
+    selectors_.clear();
     solver_.reset();
     // A long-lived solver pays off through reuse: the prefix is encoded
     // once and everything learned transfers to the next pair query. An
@@ -188,7 +249,19 @@ class RaceChecker {
     if (options_.incrementalSolving && plannedQueries(bi) >= 2) {
       solver_ = options_.makeSolver();
       solver_->setTimeoutMs(options_.solverTimeoutMs);
-      for (Expr p : prefix_) solver_->add(p);
+      if (options_.prefilter) {
+        // Selector-guarded prefix: each conjunct is asserted behind a fresh
+        // boolean, so a query can enable just its cone-of-influence slice
+        // (or all of them for the full formula) via assumptions while the
+        // solver's learnt state still persists across queries.
+        for (Expr c : prefixConjuncts_) {
+          Expr s = ctx_.freshVar("sel", expr::Sort::boolSort());
+          selectors_.push_back(s);
+          solver_->add(ctx_.mkImplies(s, c));
+        }
+      } else {
+        for (Expr p : prefix_) solver_->add(p);
+      }
     }
 
     for (const auto& [array, cas] : bi.cas) {
@@ -248,6 +321,13 @@ class RaceChecker {
   std::unique_ptr<smt::Solver> solver_;  // null in fresh-per-query mode
   std::vector<Expr> prefix_;
   Expr sameBlockAb_;
+
+  // Tiered-discharge state. prefilter_ is null when options_.prefilter is
+  // off; its affine memo persists across intervals.
+  std::unique_ptr<abstract::Prefilter> prefilter_;
+  abstract::CoiSlicer slicer_;
+  std::vector<Expr> prefixConjuncts_;
+  std::vector<Expr> selectors_;  // parallel to prefixConjuncts_
 };
 
 }  // namespace

@@ -74,6 +74,10 @@ std::string Report::json() const {
      << ",\"qeCerts\":" << stats.qeCerts
      << ",\"forallCerts\":" << stats.forallCerts
      << ",\"uniformCerts\":" << stats.uniformCerts
+     << ",\"tier0Discharged\":" << discharge.tier0
+     << ",\"slicedQueries\":" << discharge.sliced
+     << ",\"fullSmtQueries\":" << discharge.fullSmt
+     << ",\"solverCalls\":" << discharge.solverCalls
      << "},\"counterexamples\":[";
   for (size_t i = 0; i < counterexamples.size(); ++i)
     os << (i ? "," : "") << counterexamples[i].json();

@@ -35,6 +35,16 @@ struct Counterexample {
   [[nodiscard]] std::string json() const;
 };
 
+/// Where each checker query was settled by the tiered discharge pipeline.
+struct DischargeStats {
+  uint64_t tier0 = 0;        // settled by the abstract domain, no solver call
+  uint64_t sliced = 0;       // settled by a cone-of-influence sliced query
+  uint64_t fullSmt = 0;      // needed the full formula
+  uint64_t solverCalls = 0;  // backend check()/checkAssuming() invocations
+
+  [[nodiscard]] uint64_t queries() const { return tier0 + sliced + fullSmt; }
+};
+
 struct Report {
   Outcome outcome = Outcome::Unknown;
   std::string method;      // which encoding ran ("parameterized", ...)
@@ -43,6 +53,7 @@ struct Report {
   double totalSeconds = 0;
   std::vector<std::string> caveats;
   para::ResolveStats stats;
+  DischargeStats discharge;
   std::vector<Counterexample> counterexamples;
 
   [[nodiscard]] bool ok() const { return outcome == Outcome::Verified; }

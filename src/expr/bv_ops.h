@@ -47,7 +47,8 @@ namespace pugpara::expr {
       const bool neg = (x >> (width - 1)) & 1;
       if (y >= width) return neg ? allOnes : 0;
       uint64_t r = x >> y;
-      if (neg) r |= maskToWidth(allOnes << (width - y), width);
+      // Guard y > 0: `allOnes << width` is UB on a 64-bit shift count.
+      if (neg && y > 0) r |= maskToWidth(allOnes << (width - y), width);
       return r;
     }
     default: throw PugError("foldBvBin: not a binary bit-vector op");

@@ -1,0 +1,250 @@
+// Randomized property tests for the Context builders / simplifier.
+//
+// Two properties, each exercised on >= 1000 random cases per operator kind:
+//   1. Semantics: building an operation through the (simplifying) Context
+//      and evaluating the result agrees with applying the concrete QF_BV
+//      semantics (expr/bv_ops.h, expr/eval.h) to the operands' values.
+//   2. Idempotence: re-building an already-simplified expression node by
+//      node through the public builders returns the identical node (the
+//      simplifier is a no-op on its own output).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "expr/bv_ops.h"
+#include "expr/context.h"
+#include "expr/eval.h"
+#include "expr/print.h"
+#include "support/rng.h"
+
+namespace pugpara::expr {
+namespace {
+
+constexpr int kCasesPerKind = 1000;
+
+/// Random expression pools over a fixed variable set, refreshed per case.
+struct Gen {
+  Context& ctx;
+  SplitMix64& rng;
+  uint32_t width;
+  std::vector<Expr> bvPool;
+  std::vector<Expr> boolPool;
+
+  Gen(Context& c, SplitMix64& r, uint32_t w) : ctx(c), rng(r), width(w) {
+    for (const char* name : {"x", "y", "z"})
+      bvPool.push_back(ctx.var(name + std::to_string(w), Sort::bv(w)));
+    bvPool.push_back(ctx.bvVal(rng.next(), w));
+    bvPool.push_back(ctx.bvVal(rng.below(4), w));  // small constants hit
+    boolPool.push_back(ctx.var("p", Sort::boolSort()));  // more rewrites
+    boolPool.push_back(ctx.var("q", Sort::boolSort()));
+  }
+
+  Expr bv() { return bvPool[rng.below(bvPool.size())]; }
+  Expr b() { return boolPool[rng.below(boolPool.size())]; }
+
+  /// Grow the pools with a few random compound terms so operands are
+  /// nested expressions, not just leaves.
+  void deepen(int steps) {
+    static constexpr Kind bins[] = {
+        Kind::BvAdd, Kind::BvSub, Kind::BvMul,  Kind::BvAnd,
+        Kind::BvOr,  Kind::BvXor, Kind::BvShl,  Kind::BvLShr,
+        Kind::BvAShr, Kind::BvUDiv, Kind::BvURem};
+    for (int i = 0; i < steps; ++i) {
+      bvPool.push_back(
+          ctx.mkBvBin(bins[rng.below(std::size(bins))], bv(), bv()));
+      switch (rng.below(4)) {
+        case 0: boolPool.push_back(ctx.mkUlt(bv(), bv())); break;
+        case 1: boolPool.push_back(ctx.mkEq(bv(), bv())); break;
+        case 2: boolPool.push_back(ctx.mkNot(b())); break;
+        default: boolPool.push_back(ctx.mkAnd(b(), b())); break;
+      }
+    }
+  }
+
+  Env randomEnv() {
+    Env env;
+    for (Expr v : bvPool)
+      if (v.isVar()) env.bindBv(v, maskToWidth(rng.next(), width));
+    for (Expr v : boolPool)
+      if (v.isVar()) env.bindBool(v, rng.below(2) != 0);
+    return env;
+  }
+};
+
+uint32_t pickWidth(SplitMix64& rng) {
+  static constexpr uint32_t widths[] = {1, 3, 8, 16, 32, 64};
+  return widths[rng.below(std::size(widths))];
+}
+
+TEST(SimplifyPropertyTest, BinaryBvOpsAgreeWithConcreteSemantics) {
+  static constexpr Kind kinds[] = {
+      Kind::BvAdd, Kind::BvSub, Kind::BvMul,  Kind::BvUDiv, Kind::BvURem,
+      Kind::BvSDiv, Kind::BvSRem, Kind::BvAnd, Kind::BvOr,   Kind::BvXor,
+      Kind::BvShl, Kind::BvLShr, Kind::BvAShr};
+  SplitMix64 rng(0xb10b5eed);
+  for (Kind k : kinds) {
+    for (int i = 0; i < kCasesPerKind; ++i) {
+      Context ctx;
+      Gen g(ctx, rng, pickWidth(rng));
+      g.deepen(3);
+      const Expr a = g.bv();
+      const Expr b = g.bv();
+      const Expr e = ctx.mkBvBin(k, a, b);
+      const Env env = g.randomEnv();
+      const uint64_t want =
+          foldBvBin(k, evalBv(a, env), evalBv(b, env), g.width);
+      ASSERT_EQ(evalBv(e, env), want)
+          << kindName(k) << " width=" << g.width << " case=" << i << "\n"
+          << "a=" << toInfix(a) << " b=" << toInfix(b) << "\n"
+          << toInfix(e);
+    }
+  }
+}
+
+TEST(SimplifyPropertyTest, ComparisonsAgreeWithConcreteSemantics) {
+  static constexpr Kind kinds[] = {Kind::BvUlt, Kind::BvUle, Kind::BvSlt,
+                                   Kind::BvSle};
+  SplitMix64 rng(0xc0457a1);
+  for (Kind k : kinds) {
+    for (int i = 0; i < kCasesPerKind; ++i) {
+      Context ctx;
+      Gen g(ctx, rng, pickWidth(rng));
+      g.deepen(3);
+      const Expr a = g.bv();
+      const Expr b = g.bv();
+      Expr e;
+      switch (k) {
+        case Kind::BvUlt: e = ctx.mkUlt(a, b); break;
+        case Kind::BvUle: e = ctx.mkUle(a, b); break;
+        case Kind::BvSlt: e = ctx.mkSlt(a, b); break;
+        default: e = ctx.mkSle(a, b); break;
+      }
+      const Env env = g.randomEnv();
+      const bool want = foldBvCmp(k, evalBv(a, env), evalBv(b, env), g.width);
+      ASSERT_EQ(evalBool(e, env), want)
+          << kindName(k) << " width=" << g.width << " case=" << i << "\n"
+          << toInfix(e);
+    }
+  }
+}
+
+TEST(SimplifyPropertyTest, EqualityAndIteAgreeWithConcreteSemantics) {
+  SplitMix64 rng(0xe9a111);
+  for (int i = 0; i < kCasesPerKind; ++i) {
+    Context ctx;
+    Gen g(ctx, rng, pickWidth(rng));
+    g.deepen(3);
+    const Expr a = g.bv();
+    const Expr b = g.bv();
+    const Expr c = g.b();
+    const Env env = g.randomEnv();
+    ASSERT_EQ(evalBool(ctx.mkEq(a, b), env), evalBv(a, env) == evalBv(b, env));
+    ASSERT_EQ(evalBv(ctx.mkIte(c, a, b), env),
+              evalBool(c, env) ? evalBv(a, env) : evalBv(b, env));
+  }
+}
+
+TEST(SimplifyPropertyTest, BooleanConnectivesAgreeWithTruthTables) {
+  SplitMix64 rng(0xb001eaf);
+  for (int i = 0; i < kCasesPerKind; ++i) {
+    Context ctx;
+    Gen g(ctx, rng, pickWidth(rng));
+    g.deepen(4);
+    const Expr a = g.b();
+    const Expr b = g.b();
+    const Env env = g.randomEnv();
+    const bool va = evalBool(a, env);
+    const bool vb = evalBool(b, env);
+    ASSERT_EQ(evalBool(ctx.mkNot(a), env), !va) << toInfix(a);
+    ASSERT_EQ(evalBool(ctx.mkAnd(a, b), env), va && vb);
+    ASSERT_EQ(evalBool(ctx.mkOr(a, b), env), va || vb);
+    ASSERT_EQ(evalBool(ctx.mkXor(a, b), env), va != vb);
+    ASSERT_EQ(evalBool(ctx.mkImplies(a, b), env), !va || vb);
+  }
+}
+
+TEST(SimplifyPropertyTest, UnaryAndStructuralOpsAgreeWithSemantics) {
+  SplitMix64 rng(0x57a47);
+  for (int i = 0; i < kCasesPerKind; ++i) {
+    Context ctx;
+    Gen g(ctx, rng, pickWidth(rng));
+    g.deepen(3);
+    const Expr a = g.bv();
+    const Env env = g.randomEnv();
+    const uint64_t va = evalBv(a, env);
+    const uint32_t w = g.width;
+    ASSERT_EQ(evalBv(ctx.mkBvNeg(a), env), maskToWidth(~va + 1, w));
+    ASSERT_EQ(evalBv(ctx.mkBvNot(a), env), maskToWidth(~va, w));
+    if (w < 64) {
+      const uint32_t by = 1 + static_cast<uint32_t>(rng.below(64 - w));
+      ASSERT_EQ(evalBv(ctx.mkZeroExt(a, by), env), va);
+      const uint64_t sext = maskToWidth(
+          static_cast<uint64_t>(toSigned(va, w)), w + by);
+      ASSERT_EQ(evalBv(ctx.mkSignExt(a, by), env), sext);
+    }
+    const uint32_t hi = static_cast<uint32_t>(rng.below(w));
+    const uint32_t lo = static_cast<uint32_t>(rng.below(hi + 1));
+    ASSERT_EQ(evalBv(ctx.mkExtract(a, hi, lo), env),
+              maskToWidth(va >> lo, hi - lo + 1));
+    if (w <= 32) {
+      const Expr b = g.bv();
+      const uint64_t vb = evalBv(b, env);
+      ASSERT_EQ(evalBv(ctx.mkConcat(a, b), env), (va << w) | vb);
+    }
+  }
+}
+
+/// Re-builds `e` bottom-up through the public Context builders. Because the
+/// builders simplify before interning, a fixpoint of the simplifier must
+/// come back pointer-identical.
+Expr rebuild(Context& ctx, Expr e) {
+  std::vector<Expr> kids;
+  kids.reserve(e.arity());
+  for (size_t i = 0; i < e.arity(); ++i)
+    kids.push_back(rebuild(ctx, e.kid(i)));
+  switch (e.kind()) {
+    case Kind::BoolConst:
+    case Kind::BvConst:
+    case Kind::Var:
+      return e;
+    case Kind::Not: return ctx.mkNot(kids[0]);
+    case Kind::And: return ctx.mkAnd(kids[0], kids[1]);
+    case Kind::Or: return ctx.mkOr(kids[0], kids[1]);
+    case Kind::Xor: return ctx.mkXor(kids[0], kids[1]);
+    case Kind::Implies: return ctx.mkImplies(kids[0], kids[1]);
+    case Kind::Eq: return ctx.mkEq(kids[0], kids[1]);
+    case Kind::Ite: return ctx.mkIte(kids[0], kids[1], kids[2]);
+    case Kind::BvNeg: return ctx.mkBvNeg(kids[0]);
+    case Kind::BvNot: return ctx.mkBvNot(kids[0]);
+    case Kind::BvUlt: return ctx.mkUlt(kids[0], kids[1]);
+    case Kind::BvUle: return ctx.mkUle(kids[0], kids[1]);
+    case Kind::BvSlt: return ctx.mkSlt(kids[0], kids[1]);
+    case Kind::BvSle: return ctx.mkSle(kids[0], kids[1]);
+    case Kind::BvConcat: return ctx.mkConcat(kids[0], kids[1]);
+    case Kind::BvExtract:
+      return ctx.mkExtract(kids[0], e.extractHi(), e.extractLo());
+    case Kind::BvZeroExt: return ctx.mkZeroExt(kids[0], e.extendBy());
+    case Kind::BvSignExt: return ctx.mkSignExt(kids[0], e.extendBy());
+    default: return ctx.mkBvBin(e.kind(), kids[0], kids[1]);
+  }
+}
+
+TEST(SimplifyPropertyTest, SimplificationIsIdempotent) {
+  SplitMix64 rng(0x1d3a9074);
+  for (int i = 0; i < kCasesPerKind; ++i) {
+    Context ctx;
+    Gen g(ctx, rng, pickWidth(rng));
+    g.deepen(8);
+    // Mix bool and bv roots so every builder family is revisited.
+    const Expr roots[] = {g.bv(), g.b(), ctx.mkIte(g.b(), g.bv(), g.bv())};
+    for (Expr e : roots) {
+      const Expr again = rebuild(ctx, e);
+      ASSERT_EQ(again.node(), e.node())
+          << "not a simplifier fixpoint:\n  " << toInfix(e) << "\n  "
+          << toInfix(again);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pugpara::expr

@@ -11,6 +11,9 @@
 //                 --concretize name=value (repeatable; "+C" knob)
 //                 --timeout MS            (default: 60000)
 //                 --no-replay
+//                 --no-prefilter  disable the tiered query-discharge
+//                                 pipeline (abstract-domain Tier 0 +
+//                                 cone-of-influence slicing Tier 1)
 // engine flags:   --jobs N      worker threads for batches (0 = auto, default 1)
 //                 --portfolio   race Z3 vs MiniSMT per query, first answer wins
 //                 --json        machine-readable results on stdout
@@ -43,7 +46,7 @@ void usage() {
                "       [--method param|bughunt|nonparam|auto] [--width N]\n"
                "       [--backend z3|mini] [--grid GX,GY,BX,BY,BZ]\n"
                "       [--concretize name=value]... [--timeout MS] "
-               "[--no-replay]\n"
+               "[--no-replay] [--no-prefilter]\n"
                "       [--jobs N] [--portfolio] [--json] [--deadline MS] "
                "[--cache FILE]\n");
 }
@@ -166,6 +169,8 @@ int main(int argc, char** argv) {
       opts.solverTimeoutMs = static_cast<uint32_t>(nextNum("--timeout"));
     } else if (arg == "--no-replay") {
       opts.replayCounterexamples = false;
+    } else if (arg == "--no-prefilter") {
+      opts.prefilter = false;
     } else if (arg == "--jobs") {
       eopts.jobs = static_cast<unsigned>(nextNum("--jobs"));
     } else if (arg == "--portfolio") {
@@ -246,12 +251,27 @@ int main(int argc, char** argv) {
         worst = std::max(worst, outcomeCode(results[i].report));
       }
       const smt::QueryCache::Stats cs = engine.cache().stats();
+      check::DischargeStats total;
+      for (const auto& r : results) {
+        total.tier0 += r.report.discharge.tier0;
+        total.sliced += r.report.discharge.sliced;
+        total.fullSmt += r.report.discharge.fullSmt;
+        total.solverCalls += r.report.discharge.solverCalls;
+      }
       std::printf(
-          "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"cacheHits\":%llu,"
-          "\"cacheMisses\":%llu}}\n",
+          "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"prefilter\":%s,"
+          "\"cacheHits\":%llu,\"cacheMisses\":%llu,\"cacheInsertions\":%llu,"
+          "\"tier0Discharged\":%llu,\"slicedQueries\":%llu,"
+          "\"fullSmtQueries\":%llu,\"solverCalls\":%llu}}\n",
           eopts.jobs, eopts.portfolio ? "true" : "false",
+          opts.prefilter ? "true" : "false",
           static_cast<unsigned long long>(cs.hits),
-          static_cast<unsigned long long>(cs.misses));
+          static_cast<unsigned long long>(cs.misses),
+          static_cast<unsigned long long>(cs.insertions),
+          static_cast<unsigned long long>(total.tier0),
+          static_cast<unsigned long long>(total.sliced),
+          static_cast<unsigned long long>(total.fullSmt),
+          static_cast<unsigned long long>(total.solverCalls));
     } else if (action == Action::Summary) {
       // Grouped per kernel, three properties per group (request order).
       for (size_t i = 0; i < results.size(); ++i) {
