@@ -26,6 +26,13 @@ echo "== tier-1: prefilter ablation (verdict agreement + tier-0 rate) =="
 # mutants); also emits BENCH_prefilter.json with discharge rates and speedups.
 (cd build && ./bench/ablate_prefilter)
 
+echo "== tier-1: MiniSMT ablation (technique agreement, reduced widths) =="
+# Fails when any raw-speed technique (LBD / chrono / inprocess / rewrite /
+# seed portfolio) changes a verdict on the corpus or the injected-bug
+# mutants; PUGPARA_MINI_FAST keeps the equivalence stage at CI-sized widths.
+# Also emits BENCH_minismt.json with the ablation timings.
+(cd build && PUGPARA_MINI_FAST=1 ./bench/ablate_minismt)
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan stage skipped (--skip-tsan) =="
   exit 0

@@ -27,6 +27,9 @@ struct CheckOptions {
   Method method = Method::Auto;
   uint32_t width = 16;  // scalar bit-width (Table II's 8b/16b/32b knob)
   smt::Backend backend = smt::Backend::Z3;
+  /// MiniSMT raw-speed technique toggles and seed-portfolio width; ignored
+  /// by the Z3 backend. Defaults: every technique on, portfolio off.
+  smt::MiniTuning mini;
   para::FrameMode frameMode = para::FrameMode::MonotoneQe;
   uint32_t solverTimeoutMs = 300000;  // the paper's 5-minute T.O.
   uint32_t monoTimeoutMs = 2000;
@@ -72,7 +75,7 @@ struct CheckOptions {
 
   /// The one way checkers create solvers (honors `solverFactory`).
   [[nodiscard]] std::unique_ptr<smt::Solver> makeSolver() const {
-    return solverFactory ? solverFactory() : smt::makeSolver(backend);
+    return solverFactory ? solverFactory() : smt::makeSolver(backend, mini);
   }
 
   [[nodiscard]] encode::EncodeOptions encodeOptions() const {

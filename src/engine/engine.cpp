@@ -160,14 +160,22 @@ check::CheckResult VerificationEngine::runOne(const BoundCheck& check) {
   }
 
   const bool portfolio = options_.portfolio;
+  // The mini-portfolio engine mode answers every query with MiniSMT's
+  // in-process seed portfolio; it overrides the request's backend choice.
+  if (options_.miniPortfolio > 1 && !portfolio) {
+    req.options.backend = smt::Backend::Mini;
+    req.options.mini.portfolio = options_.miniPortfolio;
+  }
   const smt::Backend backend = req.options.backend;
+  const smt::MiniTuning mini = req.options.mini;
   std::shared_ptr<CancelState> cancel = cancel_;
   smt::QueryCache* cache = cache_.get();
   auto clipped = std::make_shared<std::atomic<bool>>(false);
-  req.options.solverFactory = [portfolio, backend, cancel, cache, deadline,
+  req.options.solverFactory = [portfolio, backend, mini, cancel, cache,
+                               deadline,
                                clipped]() -> std::unique_ptr<smt::Solver> {
     std::unique_ptr<smt::Solver> s =
-        portfolio ? makePortfolioSolver() : smt::makeSolver(backend);
+        portfolio ? makePortfolioSolver() : smt::makeSolver(backend, mini);
     s = std::make_unique<GovernedSolver>(std::move(s), cancel, deadline,
                                          clipped);
     return smt::makeCachingSolver(std::move(s), *cache);

@@ -33,6 +33,12 @@ struct EngineOptions {
   /// Race Z3 against MiniSMT on every query and take the first answer
   /// (see portfolio_solver.h). Doubles transient solver memory.
   bool portfolio = false;
+  /// Third engine mode: answer every query with MiniSMT's in-process seed
+  /// portfolio — N SAT-solver clones with diverse restart/branching/phase
+  /// seeds racing on the same CNF with learnt-clause sharing (see
+  /// smt/mini/share.h). <= 1 = off. Forces the Mini backend; mutually
+  /// exclusive with `portfolio` (which races across backends instead).
+  unsigned miniPortfolio = 1;
   /// Deadline applied to checks whose request leaves deadlineMs at 0.
   uint32_t defaultDeadlineMs = 0;
   /// Shared query cache; the engine creates a private one when null. Pass

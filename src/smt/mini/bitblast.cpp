@@ -16,6 +16,30 @@ Lit BitBlaster::constLit(bool b) {
   return b ? true_ : ~true_;
 }
 
+bool BitBlaster::litConst(Lit l, bool& out) const {
+  if (!haveTrue_) return false;
+  if (l == true_) {
+    out = true;
+    return true;
+  }
+  if (l == ~true_) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+void BitBlaster::freezeInterface() {
+  if (haveTrue_) sat_.setFrozen(true_.var());
+  for (expr::Expr v : vars_) {
+    if (v.sort().isBv()) {
+      for (Lit l : bits(v)) sat_.setFrozen(l.var());
+    } else {
+      sat_.setFrozen(boolLit(v).var());
+    }
+  }
+}
+
 // ---- Gates -------------------------------------------------------------------
 
 Lit BitBlaster::gAnd(Lit a, Lit b) {
@@ -96,12 +120,16 @@ std::vector<Lit> BitBlaster::vNeg(const std::vector<Lit>& a) {
 
 std::vector<Lit> BitBlaster::vMul(const std::vector<Lit>& a,
                                   const std::vector<Lit>& b) {
-  // Shift-and-add multiplier.
+  // Shift-and-add multiplier. Rows gated by a constant bit need no gates:
+  // a zero row skips its adder entirely, a one row adds `a` shifted as-is.
   std::vector<Lit> acc(a.size(), constLit(false));
   for (size_t i = 0; i < b.size(); ++i) {
+    bool bi = false;
+    const bool isConst = litConst(b[i], bi);
+    if (isConst && !bi) continue;
     std::vector<Lit> partial(a.size(), constLit(false));
     for (size_t j = 0; i + j < a.size(); ++j)
-      partial[i + j] = gAnd(a[j], b[i]);
+      partial[i + j] = isConst ? a[j] : gAnd(a[j], b[i]);
     acc = vAdd(acc, partial, constLit(false));
   }
   return acc;
@@ -120,6 +148,32 @@ std::vector<Lit> BitBlaster::vShift(const std::vector<Lit>& a,
   // numeric test `by >= w` zeroes the out-of-range amounts (SMT-LIB shift
   // semantics).
   const size_t w = a.size();
+  // Constant shift amount: wire the result directly, no barrel stages.
+  {
+    uint64_t amt = 0;
+    bool allConst = true;
+    for (size_t i = 0; i < by.size(); ++i) {
+      bool bit = false;
+      if (!litConst(by[i], bit)) {
+        allConst = false;
+        break;
+      }
+      if (bit) amt = i >= 63 ? uint64_t{w} : amt | (uint64_t{1} << i);
+    }
+    if (allConst) {
+      std::vector<Lit> out(w, constLit(false));
+      if (amt < w) {
+        for (size_t i = 0; i < w; ++i) {
+          if (left) {
+            if (i >= amt) out[i] = a[i - amt];
+          } else {
+            if (i + amt < w) out[i] = a[i + amt];
+          }
+        }
+      }
+      return out;
+    }
+  }
   std::vector<Lit> cur = a;
   for (size_t s = 0; s < by.size() && (size_t{1} << s) < w; ++s) {
     const size_t dist = size_t{1} << s;

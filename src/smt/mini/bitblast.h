@@ -40,9 +40,17 @@ class BitBlaster {
   [[nodiscard]] uint64_t modelBv(expr::Expr e);
   [[nodiscard]] bool modelBool(expr::Expr e);
 
+  /// Marks every variable the outside world can still name — the constant
+  /// true literal and all bits of blasted input variables — as frozen in
+  /// the SAT solver, exempting them from variable elimination. Called after
+  /// each encoding batch; idempotent.
+  void freezeInterface();
+
  private:
   Lit fresh() { return Lit(sat_.newVar(), false); }
   Lit constLit(bool b);
+  /// True iff `l` is the constant-true/false literal; sets `out` to its value.
+  [[nodiscard]] bool litConst(Lit l, bool& out) const;
 
   // Gate constructors (with constant folding and structural sharing at the
   // Expr layer already done, these stay simple Tseitin encodings).

@@ -1,0 +1,231 @@
+#include "smt/mini/rewrite.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pugpara::smt::mini {
+
+using expr::Expr;
+using expr::Kind;
+using expr::maskToWidth;
+
+namespace {
+constexpr size_t kMaxSumTerms = 32;  // bail out of flattening beyond this
+
+/// log2 of an exact power of two, or -1.
+int powerOfTwo(uint64_t v) {
+  if (v == 0 || (v & (v - 1)) != 0) return -1;
+  int k = 0;
+  while ((v >> k) != 1) ++k;
+  return k;
+}
+}  // namespace
+
+Expr Rewriter::rewrite(Expr e) {
+  // Iterative post-order over the DAG (SSA store chains nest deeply).
+  std::vector<const expr::Node*> stack{e.node()};
+  std::vector<Expr> kids;
+  while (!stack.empty()) {
+    const expr::Node* n = stack.back();
+    if (memo_.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    // Quantified subtrees pass through untouched: rebuilding under binders
+    // is not worth the care (MiniSMT rejects quantifiers anyway).
+    if (n->kind == Kind::Forall || n->kind == Kind::Exists ||
+        n->kids.empty()) {
+      memo_.emplace(n, Expr(n));
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const expr::Node* k : n->kids)
+      if (!memo_.count(k)) {
+        stack.push_back(k);
+        ready = false;
+      }
+    if (!ready) continue;
+    stack.pop_back();
+    kids.clear();
+    for (const expr::Node* k : n->kids) kids.push_back(memo_.at(k));
+    const Expr out = rebuild(Expr(n), kids);
+    if (out != Expr(n)) ++rewrites_;
+    memo_.emplace(n, out);
+  }
+  return memo_.at(e.node());
+}
+
+Expr Rewriter::rebuild(Expr e, const std::vector<Expr>& k) {
+  switch (e.kind()) {
+    case Kind::Not:
+      return ctx_.mkNot(k[0]);
+    case Kind::And:
+      return ctx_.mkAnd(k);
+    case Kind::Or:
+      return ctx_.mkOr(k);
+    case Kind::Xor:
+      return ctx_.mkXor(k[0], k[1]);
+    case Kind::Implies:
+      return ctx_.mkImplies(k[0], k[1]);
+    case Kind::Eq:
+      return normalizeEq(k[0], k[1]);
+    case Kind::Ite:
+      return ctx_.mkIte(k[0], k[1], k[2]);
+    case Kind::BvNeg:
+      return ctx_.mkBvNeg(k[0]);
+    case Kind::BvNot:
+      return ctx_.mkBvNot(k[0]);
+    case Kind::BvAdd:
+      return normalizeSum(e.sort().width(), k[0], k[1], /*subtract=*/false);
+    case Kind::BvSub:
+      return normalizeSum(e.sort().width(), k[0], k[1], /*subtract=*/true);
+    case Kind::BvMul:
+      return normalizeMul(e.sort().width(), k[0], k[1]);
+    case Kind::BvUDiv:
+    case Kind::BvURem:
+    case Kind::BvSDiv:
+    case Kind::BvSRem:
+    case Kind::BvAnd:
+    case Kind::BvOr:
+    case Kind::BvXor:
+    case Kind::BvShl:
+    case Kind::BvLShr:
+    case Kind::BvAShr:
+      return ctx_.mkBvBin(e.kind(), k[0], k[1]);
+    case Kind::BvUlt:
+      return ctx_.mkUlt(k[0], k[1]);
+    case Kind::BvUle:
+      return ctx_.mkUle(k[0], k[1]);
+    case Kind::BvSlt:
+      return ctx_.mkSlt(k[0], k[1]);
+    case Kind::BvSle:
+      return ctx_.mkSle(k[0], k[1]);
+    case Kind::BvConcat:
+      return ctx_.mkConcat(k[0], k[1]);
+    case Kind::BvExtract:
+      return ctx_.mkExtract(k[0], e.extractHi(), e.extractLo());
+    case Kind::BvZeroExt:
+      return ctx_.mkZeroExt(k[0], e.extendBy());
+    case Kind::BvSignExt:
+      return ctx_.mkSignExt(k[0], e.extendBy());
+    case Kind::Select:
+      return ctx_.mkSelect(k[0], k[1]);
+    case Kind::Store:
+      return ctx_.mkStore(k[0], k[1], k[2]);
+    default:
+      return e;  // leaves and quantifiers never reach here
+  }
+}
+
+Expr Rewriter::normalizeMul(uint32_t width, Expr x, Expr y) {
+  // x * 2^k  ->  x << k: the bit-blaster wires constant shifts directly,
+  // versus w/2 adder stages for a general product.
+  if (x.isBvConst() && !y.isBvConst()) std::swap(x, y);
+  if (y.isBvConst()) {
+    const int k = powerOfTwo(y.bvValue());
+    if (k > 0)
+      return ctx_.mkShl(x, ctx_.bvVal(static_cast<uint64_t>(k), width));
+  }
+  return ctx_.mkMul(x, y);
+}
+
+void Rewriter::flattenSum(Expr e, bool neg,
+                          std::vector<std::pair<Expr, bool>>& terms,
+                          uint64_t& c, bool& bail) {
+  if (bail) return;
+  switch (e.kind()) {
+    case Kind::BvConst:
+      c += neg ? ~e.bvValue() + 1 : e.bvValue();
+      return;
+    case Kind::BvAdd:
+      flattenSum(e.kid(0), neg, terms, c, bail);
+      flattenSum(e.kid(1), neg, terms, c, bail);
+      return;
+    case Kind::BvSub:
+      flattenSum(e.kid(0), neg, terms, c, bail);
+      flattenSum(e.kid(1), !neg, terms, c, bail);
+      return;
+    case Kind::BvNeg:
+      flattenSum(e.kid(0), !neg, terms, c, bail);
+      return;
+    default:
+      if (terms.size() >= kMaxSumTerms) {
+        bail = true;
+        return;
+      }
+      terms.emplace_back(e, neg);
+  }
+}
+
+void Rewriter::cancelTerms(std::vector<std::pair<Expr, bool>>& terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  // For each run of the same subterm, net out +t against -t occurrences.
+  std::vector<std::pair<Expr, bool>> out;
+  size_t i = 0;
+  while (i < terms.size()) {
+    size_t j = i;
+    int net = 0;
+    while (j < terms.size() && terms[j].first == terms[i].first) {
+      net += terms[j].second ? -1 : 1;
+      ++j;
+    }
+    for (int n = 0; n < std::abs(net); ++n)
+      out.emplace_back(terms[i].first, net < 0);
+    i = j;
+  }
+  terms = std::move(out);
+}
+
+Expr Rewriter::buildSum(uint32_t width,
+                        std::span<const std::pair<Expr, bool>> terms,
+                        uint64_t c) {
+  const uint64_t cm = maskToWidth(c, width);
+  Expr acc;
+  for (const auto& [t, neg] : terms) {
+    if (acc.isNull())
+      acc = neg ? ctx_.mkBvNeg(t) : t;
+    else
+      acc = neg ? ctx_.mkSub(acc, t) : ctx_.mkAdd(acc, t);
+  }
+  if (acc.isNull()) return ctx_.bvVal(cm, width);
+  if (cm != 0) acc = ctx_.mkAdd(acc, ctx_.bvVal(cm, width));
+  return acc;
+}
+
+Expr Rewriter::normalizeSum(uint32_t width, Expr x, Expr y, bool subtract) {
+  std::vector<std::pair<Expr, bool>> terms;
+  uint64_t c = 0;
+  bool bail = false;
+  flattenSum(x, false, terms, c, bail);
+  flattenSum(y, subtract, terms, c, bail);
+  if (bail) return subtract ? ctx_.mkSub(x, y) : ctx_.mkAdd(x, y);
+  cancelTerms(terms);
+  return buildSum(width, terms, c);
+}
+
+Expr Rewriter::normalizeEq(Expr l, Expr r) {
+  if (!l.sort().isBv()) return ctx_.mkEq(l, r);
+  const uint32_t width = l.sort().width();
+  // Treat the equality as l - r == 0, cancel across sides, then split the
+  // surviving terms back: positives (plus the constant) left, negatives
+  // right. Sound in Z/2^w: adding the same term to both sides is an
+  // equivalence.
+  std::vector<std::pair<Expr, bool>> terms;
+  uint64_t c = 0;
+  bool bail = false;
+  flattenSum(l, false, terms, c, bail);
+  flattenSum(r, true, terms, c, bail);
+  if (bail) return ctx_.mkEq(l, r);
+  cancelTerms(terms);
+  std::vector<std::pair<Expr, bool>> lhs, rhs;
+  for (const auto& [t, neg] : terms)
+    (neg ? rhs : lhs).emplace_back(t, false);
+  return ctx_.mkEq(buildSum(width, lhs, c), buildSum(width, rhs, 0));
+}
+
+}  // namespace pugpara::smt::mini

@@ -1,0 +1,65 @@
+// MiniSMT word-level rewriter: a structural simplification pass applied to
+// every assertion before bit-blasting, so fewer and smaller circuits reach
+// the CNF layer.
+//
+// The Context builders already fold constants and apply local identities at
+// every node (see expr/simplify.cpp); this pass adds the multi-level rules
+// the builders cannot see:
+//   - multiplication by a power-of-two constant becomes a constant shift
+//     (the bit-blaster wires constant shifts directly, no barrel circuit),
+//   - add/sub chains are flattened, constants gathered and x/-x pairs
+//     cancelled (sound in modular arithmetic),
+//   - bit-vector equalities cancel common addends and migrate constants to
+//     one side: x + c1 == y + c2 becomes x + (c1-c2) == y,
+//   - rebuilding through the hash-consing builders re-shares common
+//     subterms and re-runs every local rule on the rewritten children.
+// Every rule is a semantic equality (not mere equisatisfiability), so the
+// pass is valid for assertions and assumptions alike.
+//
+// The rewriter is incremental: one instance memoizes across calls, matching
+// the solver's per-scope assertion stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "expr/context.h"
+
+namespace pugpara::smt::mini {
+
+class Rewriter {
+ public:
+  explicit Rewriter(expr::Context& ctx) : ctx_(ctx) {}
+
+  /// Rewrites `e` (memoized across calls; same Context required).
+  [[nodiscard]] expr::Expr rewrite(expr::Expr e);
+
+  /// Number of nodes the pass actually changed (for stats/bench output).
+  [[nodiscard]] uint64_t rewritesApplied() const { return rewrites_; }
+
+ private:
+  [[nodiscard]] expr::Expr rebuild(expr::Expr e,
+                                   const std::vector<expr::Expr>& kids);
+  [[nodiscard]] expr::Expr normalizeMul(uint32_t width, expr::Expr x,
+                                        expr::Expr y);
+  [[nodiscard]] expr::Expr normalizeSum(uint32_t width, expr::Expr x,
+                                        expr::Expr y, bool subtract);
+  [[nodiscard]] expr::Expr normalizeEq(expr::Expr l, expr::Expr r);
+
+  // Flattens an add/sub/neg chain into +/- terms and a constant
+  // accumulator; sets `bail` when the chain is too large to be worth it.
+  void flattenSum(expr::Expr e, bool neg,
+                  std::vector<std::pair<expr::Expr, bool>>& terms,
+                  uint64_t& c, bool& bail);
+  [[nodiscard]] expr::Expr buildSum(uint32_t width,
+                                    std::span<const std::pair<expr::Expr, bool>> terms,
+                                    uint64_t c);
+  // Sorts terms by node id and cancels t/-t pairs in place.
+  static void cancelTerms(std::vector<std::pair<expr::Expr, bool>>& terms);
+
+  expr::Context& ctx_;
+  std::unordered_map<const expr::Node*, expr::Expr> memo_;
+  uint64_t rewrites_ = 0;
+};
+
+}  // namespace pugpara::smt::mini

@@ -7,50 +7,99 @@
 
 namespace pugpara::smt::mini {
 
-// ---- Variable order: indexed binary max-heap on activity --------------------
-// Kept inside the .cpp: the header exposes only order_/heapPos_ storage.
-
 namespace {
 constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
 constexpr double kRescale = 1e100;
+constexpr size_t kShareMaxSize = 32;       // never export longer clauses
+constexpr size_t kImportBatch = 256;       // imported clauses per drain
+constexpr size_t kMaxSubsumerSize = 16;    // subsumers longer than this skip
+constexpr size_t kMaxOccScan = 400;        // skip huge occurrence lists
+constexpr size_t kElimMaxOcc = 10;         // |pos| + |neg| cap for BVE
+constexpr size_t kElimMaxResolvent = 16;   // literal cap per resolvent
 }  // namespace
 
 Var SatSolver::newVar() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
-  savedPhase_.push_back(false);
+  savedPhase_.push_back(cfg_.initialPhase);
   level_.push_back(0);
   reason_.push_back(kNoReason);
   activity_.push_back(0);
   seen_.push_back(0);
+  frozen_.push_back(false);
+  eliminated_.push_back(false);
+  elimStore_.emplace_back();
   watches_.emplace_back();
   watches_.emplace_back();
   heapPos_.push_back(static_cast<uint32_t>(order_.size()));
   order_.push_back(v);
   // Sift up is unnecessary (activity 0 <= everything).
+  for (SatSolver* c : clones_) (void)c->newVar();
   return v;
 }
 
+void SatSolver::setFrozen(Var v, bool frozen) {
+  frozen_[v] = frozen;
+  // Freezing an already-eliminated variable means the caller is about to
+  // rely on it again: bring its clauses back.
+  if (frozen && eliminated_[v]) restoreVar(v);
+  for (SatSolver* c : clones_) c->setFrozen(v, frozen);
+}
+
 // heap helpers ---------------------------------------------------------------
+// order_ is a binary max-heap on activity_; heapPos_[v] indexes v's slot
+// (UINT32_MAX when absent). backtrack() re-inserts unassigned variables so
+// they are immediately eligible again.
 
-namespace {
-inline size_t heapLeft(size_t i) { return 2 * i + 1; }
-inline size_t heapParent(size_t i) { return (i - 1) / 2; }
-}  // namespace
-
-void SatSolver::heapSiftUp(Var v) {
-  uint32_t pos = heapPos_[v];
-  if (pos == UINT32_MAX) return;
+void SatSolver::heapSiftUp(uint32_t pos) {
+  const Var v = order_[pos];
   while (pos > 0) {
-    size_t parent = heapParent(pos);
+    const uint32_t parent = (pos - 1) / 2;
     if (activity_[order_[parent]] >= activity_[v]) break;
     order_[pos] = order_[parent];
     heapPos_[order_[pos]] = pos;
-    pos = static_cast<uint32_t>(parent);
+    pos = parent;
   }
   order_[pos] = v;
   heapPos_[v] = pos;
+}
+
+void SatSolver::heapSiftDown(uint32_t pos) {
+  const Var v = order_[pos];
+  for (;;) {
+    uint32_t child = 2 * pos + 1;
+    if (child >= order_.size()) break;
+    if (child + 1 < order_.size() &&
+        activity_[order_[child + 1]] > activity_[order_[child]])
+      ++child;
+    if (activity_[order_[child]] <= activity_[v]) break;
+    order_[pos] = order_[child];
+    heapPos_[order_[pos]] = pos;
+    pos = child;
+  }
+  order_[pos] = v;
+  heapPos_[v] = pos;
+}
+
+void SatSolver::heapInsert(Var v) {
+  if (heapPos_[v] != UINT32_MAX) return;
+  heapPos_[v] = static_cast<uint32_t>(order_.size());
+  order_.push_back(v);
+  heapSiftUp(heapPos_[v]);
+}
+
+Var SatSolver::heapPop() {
+  const Var v = order_.front();
+  heapPos_[v] = UINT32_MAX;
+  const Var last = order_.back();
+  order_.pop_back();
+  if (!order_.empty()) {
+    order_[0] = last;
+    heapPos_[last] = 0;
+    heapSiftDown(0);
+  }
+  return v;
 }
 
 void SatSolver::bumpVar(Var v) {
@@ -59,34 +108,22 @@ void SatSolver::bumpVar(Var v) {
     for (double& a : activity_) a /= kRescale;
     varInc_ /= kRescale;
   }
-  heapSiftUp(v);
+  if (heapPos_[v] != UINT32_MAX) heapSiftUp(heapPos_[v]);
 }
 
 Lit SatSolver::pickBranch() {
-  while (!order_.empty()) {
-    Var v = order_.front();
-    // Pop max.
-    Var last = order_.back();
-    order_.pop_back();
-    heapPos_[v] = UINT32_MAX;
-    if (!order_.empty()) {
-      // Sift `last` down from the root.
-      size_t pos = 0;
-      for (;;) {
-        size_t child = heapLeft(pos);
-        if (child >= order_.size()) break;
-        if (child + 1 < order_.size() &&
-            activity_[order_[child + 1]] > activity_[order_[child]])
-          ++child;
-        if (activity_[order_[child]] <= activity_[last]) break;
-        order_[pos] = order_[child];
-        heapPos_[order_[pos]] = static_cast<uint32_t>(pos);
-        pos = child;
-      }
-      order_[pos] = last;
-      heapPos_[last] = static_cast<uint32_t>(pos);
+  // Occasional random decisions diversify portfolio clones searching the
+  // same CNF (harmless at the default frequency of 0).
+  if (cfg_.randomFreq > 0 && !order_.empty() &&
+      rng_.below(1u << 20) < static_cast<uint64_t>(cfg_.randomFreq * (1u << 20))) {
+    for (int tries = 0; tries < 8; ++tries) {
+      const Var v = order_[rng_.below(order_.size())];
+      if (!assigned(v) && !eliminated_[v]) return Lit(v, !savedPhase_[v]);
     }
-    if (!assigned(v)) return Lit(v, !savedPhase_[v]);
+  }
+  while (!order_.empty()) {
+    const Var v = heapPop();
+    if (!assigned(v) && !eliminated_[v]) return Lit(v, !savedPhase_[v]);
   }
   return Lit();  // undefined: everything assigned
 }
@@ -94,8 +131,22 @@ Lit SatSolver::pickBranch() {
 // clause management -----------------------------------------------------------
 
 bool SatSolver::addClause(std::vector<Lit> lits) {
+  // Mirror the original clause into portfolio clones before local
+  // simplification (each clone simplifies against its own root state).
+  for (SatSolver* c : clones_) (void)c->addClause(lits);
   if (unsatAtTopLevel_) return false;
   require(trailLim_.empty(), "SatSolver::addClause during solve");
+  return addClauseRoot(std::move(lits), /*learnt=*/false, /*lbd=*/0);
+}
+
+bool SatSolver::addClauseRoot(std::vector<Lit> lits, bool learnt,
+                              uint32_t lbd) {
+  if (unsatAtTopLevel_) return false;
+  // Restore-on-mention: a clause naming an eliminated variable re-activates
+  // it (recursively — restored clauses may name other eliminated vars).
+  for (const Lit l : lits)
+    if (eliminated_[l.var()]) restoreVar(l.var());
+  if (unsatAtTopLevel_) return false;
   // Normalize: sort, dedupe, drop tautologies.
   std::sort(lits.begin(), lits.end());
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
@@ -117,20 +168,45 @@ bool SatSolver::addClause(std::vector<Lit> lits) {
     return false;
   }
   if (lits.size() == 1) {
-    units_.push_back(lits[0]);
+    // At decision level 0 units go straight onto the trail; the next
+    // propagate() (solve entry or restart) spreads the consequences.
+    enqueue(lits[0], kNoReason);
     return true;
   }
   Clause c;
   c.lits = std::move(lits);
+  c.learnt = learnt;
+  c.lbd = learnt && lbd == 0 ? static_cast<uint32_t>(c.lits.size()) : lbd;
   clauses_.push_back(std::move(c));
   attach(static_cast<ClauseRef>(clauses_.size() - 1));
   return true;
+}
+
+void SatSolver::restoreVar(Var v) {
+  eliminated_[v] = false;
+  ++stats_.restoredVars;
+  if (!assigned(v)) heapInsert(v);
+  std::vector<std::vector<Lit>> stored = std::move(elimStore_[v]);
+  elimStore_[v].clear();
+  for (auto& lits : stored)
+    addClauseRoot(std::move(lits), /*learnt=*/false, /*lbd=*/0);
 }
 
 void SatSolver::attach(ClauseRef cr) {
   const Clause& c = clauses_[cr];
   watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
   watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+}
+
+void SatSolver::drainImports() {
+  if (!importFn_ || unsatAtTopLevel_) return;
+  std::vector<Lit> lits;
+  for (size_t n = 0; n < kImportBatch && importFn_(lits); ++n) {
+    ++stats_.importedClauses;
+    addClauseRoot(std::move(lits), /*learnt=*/true, /*lbd=*/0);
+    lits.clear();
+    if (unsatAtTopLevel_) return;
+  }
 }
 
 // trail / propagation -----------------------------------------------------------
@@ -196,11 +272,7 @@ void SatSolver::backtrack(int targetLevel) {
     const Var v = trail_[i].var();
     assigns_[v] = LBool::Undef;
     reason_[v] = kNoReason;
-    if (heapPos_[v] == UINT32_MAX) {
-      heapPos_[v] = static_cast<uint32_t>(order_.size());
-      order_.push_back(v);
-      heapSiftUp(v);
-    }
+    heapInsert(v);
   }
   trail_.resize(bound);
   trailLim_.resize(targetLevel);
@@ -222,7 +294,7 @@ void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
   ClauseRef cr = conflict;
   do {
     Clause& c = clauses_[cr];
-    if (c.learnt) bumpClause(c);
+    if (c.learnt) bumpClause(cr);
     for (size_t i = first ? 0 : 1; i < c.lits.size(); ++i) {
       const Lit q = c.lits[i];
       if (seen_[q.var()] || level_[q.var()] == 0) continue;
@@ -274,12 +346,45 @@ void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
   }
 }
 
-void SatSolver::bumpClause(Clause& c) {
+uint32_t SatSolver::computeLbd(std::span<const Lit> lits) {
+  // Number of distinct decision levels among the (assigned) literals.
+  ++lbdStampGen_;
+  if (lbdStamp_.size() < trailLim_.size() + 1)
+    lbdStamp_.resize(trailLim_.size() + 1, 0);
+  uint32_t n = 0;
+  for (const Lit l : lits) {
+    const int lev = level_[l.var()];
+    if (lev <= 0) continue;
+    if (lbdStamp_[static_cast<size_t>(lev)] != lbdStampGen_) {
+      lbdStamp_[static_cast<size_t>(lev)] = lbdStampGen_;
+      ++n;
+    }
+  }
+  return n;
+}
+
+void SatSolver::recordLbd(uint32_t lbd) {
+  if (lbd <= 2)
+    ++stats_.lbdGlue;
+  else if (lbd <= 6)
+    ++stats_.lbdMid;
+  else
+    ++stats_.lbdLarge;
+}
+
+void SatSolver::bumpClause(ClauseRef cr) {
+  Clause& c = clauses_[cr];
   c.activity += clauseInc_;
   if (c.activity > kRescale) {
     for (Clause& cl : clauses_)
       if (cl.learnt) cl.activity /= kRescale;
     clauseInc_ /= kRescale;
+  }
+  // Glucose-style dynamic glue: a learnt clause active in conflict analysis
+  // has all literals assigned, so its LBD can be refreshed (kept minimal).
+  if (c.learnt && c.lbd > 1) {
+    const uint32_t l = computeLbd(c.lits);
+    if (l > 0 && l < c.lbd) c.lbd = l;
   }
 }
 
@@ -289,22 +394,47 @@ void SatSolver::decayActivities() {
 }
 
 void SatSolver::reduceLearnts() {
-  // Drop the less active half of the learnt clauses that are not reasons.
   std::vector<ClauseRef> learnts;
   for (ClauseRef i = 0; i < clauses_.size(); ++i)
     if (clauses_[i].learnt) learnts.push_back(i);
   if (learnts.size() < 64) return;
-  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
-  });
   std::vector<bool> isReason(clauses_.size(), false);
   for (const Lit l : trail_)
     if (reason_[l.var()] != kNoReason) isReason[reason_[l.var()]] = true;
 
   std::vector<bool> drop(clauses_.size(), false);
-  for (size_t i = 0; i < learnts.size() / 2; ++i)
-    if (!isReason[learnts[i]] && clauses_[learnts[i]].lits.size() > 2)
-      drop[learnts[i]] = true;
+  uint64_t dropped = 0;
+  if (cfg_.lbdReduce) {
+    // LBD-driven: delete the worst (highest-glue, then least active) half,
+    // protecting glue clauses (lbd <= glueLbd), binaries and reasons.
+    std::sort(learnts.begin(), learnts.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                if (clauses_[a].lbd != clauses_[b].lbd)
+                  return clauses_[a].lbd > clauses_[b].lbd;
+                return clauses_[a].activity < clauses_[b].activity;
+              });
+    const size_t target = learnts.size() / 2;
+    for (const ClauseRef cr : learnts) {
+      if (dropped >= target) break;
+      const Clause& c = clauses_[cr];
+      if (isReason[cr] || c.lits.size() <= 2 || c.lbd <= cfg_.glueLbd)
+        continue;
+      drop[cr] = true;
+      ++dropped;
+    }
+  } else {
+    // Activity-based fallback: drop the less active half.
+    std::sort(learnts.begin(), learnts.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                return clauses_[a].activity < clauses_[b].activity;
+              });
+    for (size_t i = 0; i < learnts.size() / 2; ++i)
+      if (!isReason[learnts[i]] && clauses_[learnts[i]].lits.size() > 2) {
+        drop[learnts[i]] = true;
+        ++dropped;
+      }
+  }
+  stats_.learntsDeleted += dropped;
 
   // Rebuild watches without the dropped clauses. Clause refs must stay
   // stable (reasons point into clauses_), so we only clear bodies.
@@ -317,6 +447,321 @@ void SatSolver::reduceLearnts() {
   for (ClauseRef i = 0; i < clauses_.size(); ++i)
     if (drop[i]) clauses_[i].lits.clear(), clauses_[i].learnt = false;
 }
+
+// inprocessing -----------------------------------------------------------------
+
+void SatSolver::maybeInprocess(std::span<const Lit> assumptions) {
+  if (!cfg_.inprocess || unsatAtTopLevel_) return;
+  if (clauses_.size() < inprocessNextAt_) return;
+  inprocess(assumptions);
+  inprocessNextAt_ =
+      clauses_.size() + std::max<size_t>(2000, clauses_.size() / 4);
+}
+
+void SatSolver::inprocess(std::span<const Lit> assumptions) {
+  ++stats_.inprocessRuns;
+  // Freeze this call's assumption variables for the duration of the pass:
+  // inprocessing must never delete a clause an assumption still needs.
+  std::vector<Var> thaw;
+  for (const Lit a : assumptions)
+    if (!frozen_[a.var()]) {
+      frozen_[a.var()] = true;
+      thaw.push_back(a.var());
+    }
+
+  // Root reasons are never dereferenced once the trail is final at level 0;
+  // clear them so clause deletion cannot leave dangling references.
+  for (const Lit l : trail_) reason_[l.var()] = kNoReason;
+
+  // 1. Top-level simplification: drop satisfied clauses, strip falsified
+  // literals, and sort each survivor (the subset tests below and the
+  // resolvent merges rely on sorted literals).
+  std::vector<Lit> pendingUnits;
+  bool ok = true;
+  for (ClauseRef i = 0; i < clauses_.size() && ok; ++i) {
+    Clause& c = clauses_[i];
+    if (c.lits.empty()) continue;
+    bool sat = false;
+    size_t keep = 0;
+    for (const Lit l : c.lits) {
+      const LBool v = value(l);
+      if (v == LBool::True) {
+        sat = true;
+        break;
+      }
+      if (v == LBool::Undef) c.lits[keep++] = l;
+    }
+    if (sat) {
+      c.lits.clear();
+      c.learnt = false;
+      continue;
+    }
+    c.lits.resize(keep);
+    if (c.lits.empty()) {
+      ok = false;
+      break;
+    }
+    if (c.lits.size() == 1) {
+      pendingUnits.push_back(c.lits[0]);
+      c.lits.clear();
+      c.learnt = false;
+      continue;
+    }
+    std::sort(c.lits.begin(), c.lits.end());
+  }
+
+  if (ok) {
+    // Occurrence lists and variable signatures over the live clauses.
+    std::vector<std::vector<ClauseRef>> occ(watches_.size());
+    std::vector<uint64_t> sig(clauses_.size(), 0);
+    for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+      if (!clauseLive(i)) continue;
+      uint64_t s = 0;
+      for (const Lit l : clauses_[i].lits) {
+        occ[l.code()].push_back(i);
+        s |= uint64_t{1} << (l.var() & 63);
+      }
+      sig[i] = s;
+    }
+    subsumptionPass(occ, sig, pendingUnits);
+    eliminatePass(occ, sig);
+    // eliminatePass routes unit resolvents through elimUnits_ (below).
+    pendingUnits.insert(pendingUnits.end(), elimUnits_.begin(),
+                        elimUnits_.end());
+    elimUnits_.clear();
+  }
+
+  for (const Var v : thaw) frozen_[v] = false;
+
+  if (!ok) {
+    unsatAtTopLevel_ = true;
+    return;
+  }
+
+  // Watches were invalidated wholesale (clauses dropped, strengthened,
+  // sorted); rebuild them, apply the pending units and re-propagate the
+  // entire root trail against the new clause database.
+  rebuildWatches();
+  for (const Lit u : pendingUnits) {
+    if (value(u) == LBool::False) {
+      unsatAtTopLevel_ = true;
+      return;
+    }
+    if (value(u) == LBool::Undef) enqueue(u, kNoReason);
+  }
+  qhead_ = 0;
+  if (propagate() != kNoReason) unsatAtTopLevel_ = true;
+}
+
+void SatSolver::subsumptionPass(std::vector<std::vector<ClauseRef>>& occ,
+                                std::vector<uint64_t>& sig,
+                                std::vector<Lit>& pendingUnits) {
+  // Is `a` ⊆ `b`? Both sorted by literal code.
+  const auto subset = [](const std::vector<Lit>& a,
+                         const std::vector<Lit>& b) {
+    size_t j = 0;
+    for (const Lit l : a) {
+      while (j < b.size() && b[j] < l) ++j;
+      if (j >= b.size() || b[j] != l) return false;
+      ++j;
+    }
+    return true;
+  };
+  std::vector<Lit> flipped;
+  const size_t fixedEnd = clauses_.size();
+  for (ClauseRef cr = 0; cr < fixedEnd; ++cr) {
+    const Clause& c = clauses_[cr];
+    if (!clauseLive(cr) || c.learnt || c.lits.size() > kMaxSubsumerSize)
+      continue;
+    // Backward subsumption: c kills every superset. Scan the occurrence
+    // list of c's least-occurring literal (every superset contains it).
+    Lit best = c.lits[0];
+    for (const Lit l : c.lits)
+      if (occ[l.code()].size() < occ[best.code()].size()) best = l;
+    if (occ[best.code()].size() <= kMaxOccScan) {
+      for (const ClauseRef dr : occ[best.code()]) {
+        if (dr == cr || !clauseLive(dr)) continue;
+        Clause& d = clauses_[dr];
+        if (d.lits.size() < c.lits.size()) continue;
+        if (sig[cr] & ~sig[dr]) continue;
+        if (!subset(c.lits, d.lits)) continue;
+        d.lits.clear();
+        d.learnt = false;
+        ++stats_.subsumed;
+      }
+    }
+    // Self-subsuming resolution: if c with one literal l flipped is a
+    // subset of d, resolving removes ~l from d (d gets strictly stronger).
+    for (const Lit l : c.lits) {
+      if (occ[(~l).code()].size() > kMaxOccScan) continue;
+      flipped = c.lits;
+      *std::find(flipped.begin(), flipped.end(), l) = ~l;
+      std::sort(flipped.begin(), flipped.end());
+      for (const ClauseRef dr : occ[(~l).code()]) {
+        if (dr == cr || !clauseLive(dr)) continue;
+        Clause& d = clauses_[dr];
+        if (d.lits.size() < c.lits.size()) continue;
+        if (sig[cr] & ~sig[dr]) continue;  // var signatures ignore polarity
+        if (!subset(flipped, d.lits)) continue;
+        d.lits.erase(std::find(d.lits.begin(), d.lits.end(), ~l));
+        ++stats_.strengthened;
+        uint64_t s = 0;
+        for (const Lit q : d.lits) s |= uint64_t{1} << (q.var() & 63);
+        sig[dr] = s;
+        if (d.lits.size() == 1) {
+          pendingUnits.push_back(d.lits[0]);
+          d.lits.clear();
+          d.learnt = false;
+        }
+      }
+    }
+  }
+}
+
+void SatSolver::eliminatePass(std::vector<std::vector<ClauseRef>>& occ,
+                              std::vector<uint64_t>& sig) {
+  const auto contains = [this](ClauseRef cr, Lit l) {
+    const auto& lits = clauses_[cr].lits;
+    return std::binary_search(lits.begin(), lits.end(), l);
+  };
+  const size_t nv = numVars();
+  std::vector<ClauseRef> pos, neg;
+  for (Var v = 0; v < nv; ++v) {
+    if (frozen_[v] || eliminated_[v] || assigned(v)) continue;
+    const Lit pl(v, false), nl(v, true);
+    // Live original clauses actually containing each polarity (occurrence
+    // entries go stale when clauses are dropped or strengthened).
+    pos.clear();
+    neg.clear();
+    for (const ClauseRef cr : occ[pl.code()])
+      if (clauseLive(cr) && !clauses_[cr].learnt && contains(cr, pl))
+        pos.push_back(cr);
+    for (const ClauseRef cr : occ[nl.code()])
+      if (clauseLive(cr) && !clauses_[cr].learnt && contains(cr, nl))
+        neg.push_back(cr);
+    const size_t budget = pos.size() + neg.size();
+    if (budget == 0 || budget > kElimMaxOcc) continue;
+    // Build all non-tautological resolvents; give up unless the clause
+    // count does not grow (MiniSat's no-growth rule) and every resolvent
+    // stays short.
+    std::vector<std::vector<Lit>> resolvents;
+    bool tooBig = false;
+    for (const ClauseRef p : pos) {
+      for (const ClauseRef n : neg) {
+        std::vector<Lit> merged;
+        bool taut = false;
+        for (const Lit l : clauses_[p].lits)
+          if (l != pl) merged.push_back(l);
+        for (const Lit l : clauses_[n].lits)
+          if (l != nl) merged.push_back(l);
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        for (size_t i = 0; i + 1 < merged.size(); ++i)
+          if (merged[i].var() == merged[i + 1].var()) {
+            taut = true;
+            break;
+          }
+        if (taut) continue;
+        if (merged.size() > kElimMaxResolvent ||
+            resolvents.size() >= budget) {
+          tooBig = true;
+          break;
+        }
+        resolvents.push_back(std::move(merged));
+      }
+      if (tooBig) break;
+    }
+    if (tooBig) continue;
+    // Commit: move the variable's clauses to the elimination store (they
+    // fuel restore-on-mention and model extension), purge learnts that
+    // mention it (a stale learnt could otherwise re-assign the variable
+    // inconsistently with the stored clauses), then add the resolvents.
+    auto& store = elimStore_[v];
+    for (const ClauseRef cr : pos) {
+      store.push_back(std::move(clauses_[cr].lits));
+      clauses_[cr].lits.clear();
+    }
+    for (const ClauseRef cr : neg) {
+      store.push_back(std::move(clauses_[cr].lits));
+      clauses_[cr].lits.clear();
+    }
+    for (const Lit l : {pl, nl})
+      for (const ClauseRef cr : occ[l.code()])
+        if (clauseLive(cr) && clauses_[cr].learnt && contains(cr, l)) {
+          clauses_[cr].lits.clear();
+          clauses_[cr].learnt = false;
+          ++stats_.learntsDeleted;
+        }
+    eliminated_[v] = true;
+    elimOrder_.push_back(v);
+    ++stats_.eliminatedVars;
+    for (auto& r : resolvents) {
+      if (r.size() == 1) {
+        elimUnits_.push_back(r[0]);
+        continue;
+      }
+      Clause nc;
+      nc.lits = std::move(r);
+      clauses_.push_back(std::move(nc));
+      const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
+      uint64_t s = 0;
+      for (const Lit l : clauses_[cr].lits) {
+        occ[l.code()].push_back(cr);
+        s |= uint64_t{1} << (l.var() & 63);
+      }
+      sig.push_back(s);
+    }
+  }
+}
+
+void SatSolver::rebuildWatches() {
+  for (auto& ws : watches_) ws.clear();
+  // Every live clause has >= 2 literals, all unassigned at the root (the
+  // simplification pass stripped the rest), so any two watches are valid.
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr)
+    if (clauseLive(cr)) attach(cr);
+}
+
+void SatSolver::extendModel() {
+  // Patch eliminated variables into the model, newest elimination first:
+  // a variable's stored clauses only mention variables eliminated earlier
+  // (or never), which are patched later/already correct. The value is
+  // forced true iff some stored clause with the positive literal has no
+  // other satisfied literal; false satisfies all remaining clauses (both
+  // forced at once would contradict a resolvent the model satisfies).
+  if (elimOrder_.empty()) return;
+  const auto litTrue = [this](Lit l) {
+    return l.var() < model_.size() &&
+           (model_[l.var()] ^ l.negated()) == LBool::True;
+  };
+  std::vector<uint8_t> done(numVars(), 0);
+  for (auto it = elimOrder_.rbegin(); it != elimOrder_.rend(); ++it) {
+    const Var v = *it;
+    if (v >= model_.size() || done[v] || !eliminated_[v]) continue;
+    done[v] = 1;
+    bool mustTrue = false;
+    for (const auto& cl : elimStore_[v]) {
+      bool satisfied = false, hasPos = false;
+      for (const Lit l : cl) {
+        if (l.var() == v) {
+          hasPos = hasPos || !l.negated();
+          continue;
+        }
+        if (litTrue(l)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && hasPos) {
+        mustTrue = true;
+        break;
+      }
+    }
+    model_[v] = mustTrue ? LBool::True : LBool::False;
+  }
+}
+
+// solving -----------------------------------------------------------------------
 
 uint64_t SatSolver::luby(uint64_t i) {
   // Knuth's formula for the Luby sequence.
@@ -336,31 +781,39 @@ uint64_t SatSolver::luby(uint64_t i) {
 SatResult SatSolver::solve(std::span<const Lit> assumptions) {
   if (unsatAtTopLevel_) return SatResult::Unsat;
   backtrack(0);
-  // Top-level units added since the last call.
-  for (const Lit u : units_) {
-    if (value(u) == LBool::False) {
+  // Assumptions naming eliminated variables re-activate them first.
+  for (const Lit a : assumptions)
+    if (a.var() < eliminated_.size() && eliminated_[a.var()])
+      restoreVar(a.var());
+  const auto rootOk = [this] {
+    if (unsatAtTopLevel_) return false;
+    if (propagate() != kNoReason) {
       unsatAtTopLevel_ = true;
-      return SatResult::Unsat;
+      return false;
     }
-    if (value(u) == LBool::Undef) enqueue(u, kNoReason);
-  }
-  units_.clear();
-  if (propagate() != kNoReason) {
-    unsatAtTopLevel_ = true;
-    return SatResult::Unsat;
-  }
+    return true;
+  };
+  if (!rootOk()) return SatResult::Unsat;
+  drainImports();
+  if (!rootOk()) return SatResult::Unsat;
+  maybeInprocess(assumptions);
+  if (unsatAtTopLevel_) return SatResult::Unsat;
 
   std::vector<Lit> learnt;
-  uint64_t restartBase = 64;
+  const uint64_t restartBase = cfg_.restartBase == 0 ? 64 : cfg_.restartBase;
   uint64_t conflictsAtRestart = 0;
   uint64_t restartBudget = restartBase * luby(stats_.restarts);
   uint64_t reduceBudget = stats_.learnts + 2000;
   const uint64_t conflictsAtEntry = stats_.conflicts;
 
   // `done` backtracks to the top level on every exit so the solver is ready
-  // for more clauses / another solve; a Sat model is snapshotted first.
+  // for more clauses / another solve; a Sat model is snapshotted (and
+  // extended over eliminated variables) first.
   const auto done = [this](SatResult r) {
-    if (r == SatResult::Sat) model_.assign(assigns_.begin(), assigns_.end());
+    if (r == SatResult::Sat) {
+      model_.assign(assigns_.begin(), assigns_.end());
+      extendModel();
+    }
     backtrack(0);
     return r;
   };
@@ -376,7 +829,30 @@ SatResult SatSolver::solve(std::span<const Lit> assumptions) {
       }
       int backLevel = 0;
       analyze(conflict, learnt, backLevel);
-      backtrack(backLevel);
+      // Glue of the fresh learnt (levels are still assigned here).
+      const uint32_t lbd = computeLbd(learnt);
+      recordLbd(lbd);
+      if (exportFn_ && learnt.size() <= kShareMaxSize &&
+          (learnt.size() == 1 || lbd <= cfg_.shareLbdMax)) {
+        exportFn_(learnt, lbd);
+        ++stats_.exportedClauses;
+      }
+      // Chronological backtracking: when the backjump would discard many
+      // levels of (often still useful) assignments, step back one level
+      // instead. The asserting literal is enqueued there with its reason;
+      // levels stay trail-consistent because enqueue stamps the current
+      // level, so analyze() needs no changes. Missed lower-level
+      // propagations are sound: the watchers still fire on any falsifying
+      // assignment, so no conflict is ever missed.
+      const int curLevel = static_cast<int>(trailLim_.size());
+      int target = backLevel;
+      if (cfg_.chrono && learnt.size() > 1 &&
+          curLevel - backLevel >= static_cast<int>(cfg_.chronoDistance) &&
+          curLevel - 1 > backLevel) {
+        target = curLevel - 1;
+        ++stats_.chronoBacktracks;
+      }
+      backtrack(target);
       if (learnt.size() == 1) {
         if (!trailLim_.empty()) backtrack(0);
         if (value(learnt[0]) == LBool::False) {
@@ -388,10 +864,11 @@ SatResult SatSolver::solve(std::span<const Lit> assumptions) {
         Clause c;
         c.lits = learnt;
         c.learnt = true;
+        c.lbd = lbd;
         clauses_.push_back(std::move(c));
         const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
         attach(cr);
-        bumpClause(clauses_[cr]);
+        bumpClause(cr);
         ++stats_.learnts;
         enqueue(learnt[0], cr);
       }
@@ -411,6 +888,8 @@ SatResult SatSolver::solve(std::span<const Lit> assumptions) {
         conflictsAtRestart = 0;
         restartBudget = restartBase * luby(stats_.restarts);
         backtrack(0);
+        drainImports();
+        if (unsatAtTopLevel_) return done(SatResult::Unsat);
       }
     } else {
       // Re-establish the assumptions as pseudo-decisions at the root

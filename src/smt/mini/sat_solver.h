@@ -1,6 +1,9 @@
 // A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
-// conflict analysis with non-chronological backjumping, EVSIDS branching,
-// phase saving, Luby restarts and activity-based learnt-clause reduction.
+// conflict analysis with non-chronological backjumping, EVSIDS branching on
+// an indexed binary max-heap, phase saving, Luby restarts, LBD (glue) based
+// learnt-clause management, chronological backtracking for shallow
+// conflicts, and root-level inprocessing (subsumption, self-subsuming
+// resolution and bounded variable elimination) between solve() calls.
 //
 // Incremental, MiniSat-style: solve() may be called repeatedly, clauses may
 // be added between calls, and solve(assumptions) decides the instance under
@@ -8,6 +11,11 @@
 // decision levels. Learnt clauses, variable activities and saved phases
 // persist across calls, which is what makes a long run of structurally
 // similar queries (the race checker's per-pair flood) cheap.
+//
+// Inprocessing is made safe for incremental use by (a) freezing interface
+// variables (setFrozen) so they are never eliminated, and (b) restoring an
+// eliminated variable's clauses whenever a new clause or an assumption
+// mentions it again (see DESIGN.md §9 for the full argument).
 #pragma once
 
 #include <cstdint>
@@ -16,13 +24,34 @@
 #include <vector>
 
 #include "smt/mini/sat_types.h"
+#include "support/rng.h"
 
 namespace pugpara::smt::mini {
 
 enum class SatResult { Sat, Unsat, Aborted };
 
+/// Per-solver tuning knobs. Every technique is individually toggleable so
+/// the ablation bench and the fuzz suite can cross-check each one; the seed
+/// fields diversify portfolio clones racing on the same CNF.
+struct SatConfig {
+  bool lbdReduce = true;    // LBD-driven learnt DB reduction (else activity)
+  bool chrono = true;       // chronological backtracking for shallow conflicts
+  bool inprocess = true;    // root-level subsumption + variable elimination
+  uint32_t glueLbd = 2;     // learnts with lbd <= this are never deleted
+  uint32_t chronoDistance = 64;  // min backjump distance to go chronological
+  uint32_t shareLbdMax = 4;      // export learnts with lbd <= this
+  uint64_t restartBase = 64;     // Luby restart unit (in conflicts)
+  uint64_t seed = 0;             // PRNG seed (random decisions, portfolio)
+  double randomFreq = 0.0;       // fraction of decisions made at random
+  bool initialPhase = false;     // default saved phase for fresh variables
+};
+
 class SatSolver {
  public:
+  SatSolver() = default;
+  explicit SatSolver(const SatConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+  [[nodiscard]] const SatConfig& config() const { return cfg_; }
+
   /// Creates a fresh variable and returns it.
   Var newVar();
   [[nodiscard]] size_t numVars() const { return watches_.size() / 2; }
@@ -30,38 +59,94 @@ class SatSolver {
   /// Adds a clause (empty clause makes the instance trivially unsat).
   /// Returns false if the solver is already unsat. Must be called between
   /// solve() calls (the solver is at decision level 0 there); literals
-  /// already decided at the top level are simplified away.
+  /// already decided at the top level are simplified away. Mentioning an
+  /// eliminated variable restores its clauses first.
   bool addClause(std::vector<Lit> lits);
+
+  /// Frozen variables are never eliminated by inprocessing. The SMT layer
+  /// freezes everything it can mention later: blasted input-variable bits,
+  /// scope selectors, assumption roots and the constant-true variable.
+  void setFrozen(Var v, bool frozen = true);
+  [[nodiscard]] bool isFrozen(Var v) const { return frozen_[v]; }
+  /// True while the variable's clauses live in the elimination store
+  /// (exposed for the fuzz suite's incremental-safety checks).
+  [[nodiscard]] bool isEliminated(Var v) const { return eliminated_[v]; }
 
   /// Budget: abort after this many conflicts PER solve() call (0 =
   /// unlimited). The caller converts wall-clock budgets into conflict
   /// budgets via the callback.
   void setConflictBudget(uint64_t conflicts) { conflictBudget_ = conflicts; }
   /// Optional periodic callback (every ~2048 conflicts); return false to
-  /// abort (wall-clock timeouts).
+  /// abort (wall-clock timeouts, portfolio losers).
   void setInterrupt(std::function<bool()> keepGoing) {
     keepGoing_ = std::move(keepGoing);
   }
 
+  /// Portfolio clause sharing. Export is invoked on every learnt clause
+  /// with lbd <= config().shareLbdMax; import is drained at solve() entry
+  /// and at every restart — it should fill `lits` and return true, or
+  /// return false when no clause is pending. Imported clauses are added at
+  /// the root as learnts (they must be implied by the clause set, which
+  /// holds for learnts shared between solvers working on the same CNF even
+  /// under assumptions: assumption literals are decisions, so they are
+  /// never resolved away and end up negated inside the learnt).
+  void setClauseExport(std::function<void(const std::vector<Lit>&, uint32_t)> f) {
+    exportFn_ = std::move(f);
+  }
+  void setClauseImport(std::function<bool(std::vector<Lit>&)> f) {
+    importFn_ = std::move(f);
+  }
+
+  /// Portfolio CNF mirroring: every newVar()/addClause()/setFrozen() on
+  /// this solver is replayed into `clone` (same variable numbering), so N
+  /// clones built behind one encoder race on the same CNF. Clauses are
+  /// forwarded pre-simplification — each clone simplifies against its own
+  /// root state. Shared learnts travel through the import hook instead and
+  /// are NOT mirrored.
+  void addClone(SatSolver* clone) { clones_.push_back(clone); }
+  /// Copies another solver's Sat model snapshot (the portfolio winner's)
+  /// so modelValue() on this solver answers from the winning run.
+  void adoptModelFrom(const SatSolver& winner) { model_ = winner.model_; }
+
   /// Decides the clause set under `assumptions` (may be empty). Assumptions
   /// constrain only this call; everything learned persists. Unsat means
   /// "unsat under these assumptions" unless the clause set itself is
-  /// contradictory (then every later call is Unsat too).
+  /// contradictory (then every later call is Unsat too). Assumption
+  /// variables are temporarily frozen, so inprocessing can never delete a
+  /// clause an assumption still needs.
   [[nodiscard]] SatResult solve(std::span<const Lit> assumptions = {});
 
   /// Value of a variable in the model (snapshot of the last Sat solve();
-  /// variables created after that solve read as false).
+  /// variables created after that solve read as false). Variables that
+  /// were eliminated are patched back in by model extension, so the
+  /// snapshot satisfies every clause ever added.
   [[nodiscard]] bool modelValue(Var v) const {
     return v < model_.size() && model_[v] == LBool::True;
   }
 
-  // Statistics (exposed for the micro bench and tests).
+  // Statistics (exposed for the micro bench, the ablation bench and the
+  // engine's --json block).
   struct Stats {
     uint64_t conflicts = 0;
     uint64_t decisions = 0;
     uint64_t propagations = 0;
     uint64_t restarts = 0;
     uint64_t learnts = 0;
+    // LBD histogram of learnt clauses at learn time.
+    uint64_t lbdGlue = 0;   // lbd <= 2
+    uint64_t lbdMid = 0;    // 3..6
+    uint64_t lbdLarge = 0;  // > 6
+    uint64_t learntsDeleted = 0;
+    uint64_t chronoBacktracks = 0;
+    // Inprocessing.
+    uint64_t inprocessRuns = 0;
+    uint64_t subsumed = 0;       // clauses removed by backward subsumption
+    uint64_t strengthened = 0;   // literals removed by self-subsumption
+    uint64_t eliminatedVars = 0;
+    uint64_t restoredVars = 0;
+    // Portfolio clause sharing.
+    uint64_t exportedClauses = 0;
+    uint64_t importedClauses = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -69,6 +154,7 @@ class SatSolver {
   struct Clause {
     std::vector<Lit> lits;
     bool learnt = false;
+    uint32_t lbd = 0;  // glue of learnt clauses (0 for originals)
     double activity = 0;
   };
   using ClauseRef = uint32_t;
@@ -85,19 +171,53 @@ class SatSolver {
   [[nodiscard]] bool assigned(Var v) const {
     return assigns_[v] != LBool::Undef;
   }
+  [[nodiscard]] bool clauseLive(ClauseRef cr) const {
+    return !clauses_[cr].lits.empty();
+  }
 
   void enqueue(Lit l, ClauseRef reason);
   [[nodiscard]] ClauseRef propagate();  // kNoReason when no conflict
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backLevel);
   void backtrack(int level);
   [[nodiscard]] Lit pickBranch();
-  void heapSiftUp(Var v);
   void bumpVar(Var v);
-  void bumpClause(Clause& c);
+  void bumpClause(ClauseRef cr);
   void decayActivities();
+  [[nodiscard]] uint32_t computeLbd(std::span<const Lit> lits);
+  void recordLbd(uint32_t lbd);
   void reduceLearnts();
   void attach(ClauseRef cr);
   [[nodiscard]] static uint64_t luby(uint64_t i);
+
+  // Root-level clause addition shared by addClause, clause restoration and
+  // clause import; enqueues units directly (the solver is at level 0) and
+  // restores eliminated variables the clause mentions. Never mirrors into
+  // clones.
+  bool addClauseRoot(std::vector<Lit> lits, bool learnt, uint32_t lbd);
+  void drainImports();
+
+  // Inprocessing (all run at decision level 0 with a fully propagated
+  // trail; watches are rebuilt from scratch afterwards).
+  void maybeInprocess(std::span<const Lit> assumptions);
+  void inprocess(std::span<const Lit> assumptions);
+  void subsumptionPass(std::vector<std::vector<ClauseRef>>& occ,
+                       std::vector<uint64_t>& sig,
+                       std::vector<Lit>& pendingUnits);
+  void eliminatePass(std::vector<std::vector<ClauseRef>>& occ,
+                     std::vector<uint64_t>& sig);
+  void restoreVar(Var v);
+  void rebuildWatches();
+  void extendModel();
+
+  // ---- Branching order: indexed binary max-heap on activity ----
+  // order_ is the heap array, heapPos_[v] the index of v in it (UINT32_MAX
+  // when v is not in the heap). Variables are re-inserted on backtrack.
+  void heapInsert(Var v);
+  void heapSiftUp(uint32_t pos);
+  void heapSiftDown(uint32_t pos);
+  [[nodiscard]] Var heapPop();
+
+  SatConfig cfg_;
 
   std::vector<Clause> clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
@@ -112,18 +232,34 @@ class SatSolver {
   std::vector<double> activity_;
   double varInc_ = 1.0;
   double clauseInc_ = 1.0;
-  std::vector<uint32_t> heapPos_;  // lazy: linear scan fallback; see .cpp
+  std::vector<uint32_t> heapPos_;
   std::vector<Var> order_;
 
-  std::vector<Lit> units_;     // top-level units not yet enqueued
   std::vector<LBool> model_;   // snapshot of the last Sat solve()
   bool unsatAtTopLevel_ = false;
   uint64_t conflictBudget_ = 0;
   std::function<bool()> keepGoing_;
   Stats stats_;
 
-  // Scratch for analyze().
+  // Inprocessing state.
+  std::vector<bool> frozen_;
+  std::vector<bool> eliminated_;
+  std::vector<std::vector<std::vector<Lit>>> elimStore_;  // clauses by var
+  std::vector<Var> elimOrder_;  // elimination order (for model extension)
+  std::vector<Lit> elimUnits_;  // unit resolvents pending application
+  size_t inprocessNextAt_ = 1;  // run when clauses_.size() reaches this
+
+  // Portfolio plumbing.
+  std::vector<SatSolver*> clones_;
+  std::function<void(const std::vector<Lit>&, uint32_t)> exportFn_;
+  std::function<bool(std::vector<Lit>&)> importFn_;
+
+  SplitMix64 rng_{0};
+
+  // Scratch for analyze() / computeLbd().
   std::vector<uint8_t> seen_;
+  std::vector<uint64_t> lbdStamp_;
+  uint64_t lbdStampGen_ = 0;
 };
 
 }  // namespace pugpara::smt::mini

@@ -1,0 +1,37 @@
+#include "smt/mini/share.h"
+
+namespace pugpara::smt::mini {
+
+void ClauseExchange::publish(size_t origin, const std::vector<Lit>& lits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buf_.push_back({static_cast<uint32_t>(origin), lits});
+  ++total_;
+  if (buf_.size() > kCapacity) {
+    buf_.pop_front();
+    ++base_;
+  }
+}
+
+bool ClauseExchange::pull(size_t consumer, std::vector<Lit>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cur = std::max(cursor_[consumer], base_);
+  const uint64_t end = base_ + buf_.size();
+  while (cur < end) {
+    const Entry& e = buf_[static_cast<size_t>(cur - base_)];
+    ++cur;
+    if (e.origin != consumer) {
+      out = e.lits;
+      cursor_[consumer] = cur;
+      return true;
+    }
+  }
+  cursor_[consumer] = cur;
+  return false;
+}
+
+uint64_t ClauseExchange::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace pugpara::smt::mini

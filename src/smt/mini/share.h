@@ -1,0 +1,47 @@
+// Thread-safe learnt-clause pool for the in-process seed portfolio: N
+// SatSolver clones racing on the same CNF publish their low-LBD learnts
+// here and periodically (at solve entry and at restarts) pull what the
+// other clones found. Sharing is sound even under assumptions: assumption
+// literals are decisions during conflict analysis, so they are never
+// resolved away — a learnt that depends on an assumption carries its
+// negation and is implied by the clause set alone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "smt/mini/sat_types.h"
+
+namespace pugpara::smt::mini {
+
+class ClauseExchange {
+ public:
+  explicit ClauseExchange(size_t participants) : cursor_(participants, 0) {}
+
+  /// Publishes a clause learnt by participant `origin`.
+  void publish(size_t origin, const std::vector<Lit>& lits);
+
+  /// Pulls the next clause some OTHER participant published; returns false
+  /// when `consumer` has drained the pool. Consumers that fall behind the
+  /// ring capacity simply miss the oldest clauses (sharing is best-effort).
+  bool pull(size_t consumer, std::vector<Lit>& out);
+
+  [[nodiscard]] uint64_t published() const;
+
+ private:
+  struct Entry {
+    uint32_t origin;
+    std::vector<Lit> lits;
+  };
+  static constexpr size_t kCapacity = 1 << 14;
+
+  mutable std::mutex mu_;
+  std::deque<Entry> buf_;
+  uint64_t base_ = 0;  // sequence number of buf_.front()
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cursor_;  // next sequence each consumer reads
+};
+
+}  // namespace pugpara::smt::mini

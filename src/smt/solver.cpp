@@ -29,6 +29,14 @@ std::unique_ptr<Solver> makeSolver(Backend backend) {
   throw PugError("unknown solver backend");
 }
 
+std::unique_ptr<Solver> makeSolver(Backend backend, const MiniTuning& tuning) {
+  switch (backend) {
+    case Backend::Z3: return makeZ3Solver();
+    case Backend::Mini: return makeMiniSolver(tuning);  // NOLINT
+  }
+  throw PugError("unknown solver backend");
+}
+
 // makeMiniSolver is defined in smt/mini/mini_solver.cpp.
 
 }  // namespace pugpara::smt

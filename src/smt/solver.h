@@ -73,10 +73,29 @@ class Solver {
 
 enum class Backend { Z3, Mini };
 
+/// MiniSMT tuning: every raw-speed technique individually toggleable (the
+/// ablation bench and the fuzz suite flip them one at a time), plus the
+/// in-process seed portfolio width. Ignored by the Z3 backend.
+struct MiniTuning {
+  bool lbd = true;        // LBD-driven learnt-clause management
+  bool chrono = true;     // chronological backtracking for shallow conflicts
+  bool inprocess = true;  // root-level subsumption + variable elimination
+  bool rewrite = true;    // word-level rewriter before bit-blasting
+  /// Number of SAT solver clones racing on the shared CNF with diverse
+  /// restart/branching/phase seeds and learnt-clause sharing; <= 1 = off.
+  unsigned portfolio = 1;
+  uint64_t seed = 0;  // base seed for clone diversification
+};
+
 /// Factory. Every solver instance is single-threaded and owns its backend
-/// state; create one per verification task.
+/// state; create one per verification task. (The seed portfolio races its
+/// clones on internal threads, but the Solver object itself must still be
+/// driven from one thread.)
 [[nodiscard]] std::unique_ptr<Solver> makeSolver(Backend backend);
+[[nodiscard]] std::unique_ptr<Solver> makeSolver(Backend backend,
+                                                 const MiniTuning& tuning);
 [[nodiscard]] std::unique_ptr<Solver> makeZ3Solver();
 [[nodiscard]] std::unique_ptr<Solver> makeMiniSolver();
+[[nodiscard]] std::unique_ptr<Solver> makeMiniSolver(const MiniTuning& tuning);
 
 }  // namespace pugpara::smt

@@ -14,8 +14,15 @@
 //                 --no-prefilter  disable the tiered query-discharge
 //                                 pipeline (abstract-domain Tier 0 +
 //                                 cone-of-influence slicing Tier 1)
+// MiniSMT flags:  --no-lbd        disable LBD learnt-clause management
+//                 --no-chrono     disable chronological backtracking
+//                 --no-inprocess  disable subsumption/variable elimination
+//                 --no-rewrite    disable the word-level rewriter
+//                 --mini-seed N   base seed for portfolio diversification
 // engine flags:   --jobs N      worker threads for batches (0 = auto, default 1)
 //                 --portfolio   race Z3 vs MiniSMT per query, first answer wins
+//                 --mini-portfolio N  race N MiniSMT seed clones per query
+//                               (forces --backend mini; excludes --portfolio)
 //                 --json        machine-readable results on stdout
 //                 --deadline MS per-check wall-clock budget (overruns -> unknown)
 //                 --cache FILE  persistent solver-query cache (loaded+saved)
@@ -34,6 +41,7 @@
 #include "check/session.h"
 #include "engine/engine.h"
 #include "lang/ast_printer.h"
+#include "smt/mini/stats.h"
 
 namespace {
 
@@ -47,8 +55,10 @@ void usage() {
                "       [--backend z3|mini] [--grid GX,GY,BX,BY,BZ]\n"
                "       [--concretize name=value]... [--timeout MS] "
                "[--no-replay] [--no-prefilter]\n"
-               "       [--jobs N] [--portfolio] [--json] [--deadline MS] "
-               "[--cache FILE]\n");
+               "       [--no-lbd] [--no-chrono] [--no-inprocess] "
+               "[--no-rewrite] [--mini-seed N]\n"
+               "       [--jobs N] [--portfolio] [--mini-portfolio N] [--json] "
+               "[--deadline MS] [--cache FILE]\n");
 }
 
 int outcomeCode(const check::Report& r) {
@@ -171,10 +181,22 @@ int main(int argc, char** argv) {
       opts.replayCounterexamples = false;
     } else if (arg == "--no-prefilter") {
       opts.prefilter = false;
+    } else if (arg == "--no-lbd") {
+      opts.mini.lbd = false;
+    } else if (arg == "--no-chrono") {
+      opts.mini.chrono = false;
+    } else if (arg == "--no-inprocess") {
+      opts.mini.inprocess = false;
+    } else if (arg == "--no-rewrite") {
+      opts.mini.rewrite = false;
+    } else if (arg == "--mini-seed") {
+      opts.mini.seed = nextNum("--mini-seed");
     } else if (arg == "--jobs") {
       eopts.jobs = static_cast<unsigned>(nextNum("--jobs"));
     } else if (arg == "--portfolio") {
       eopts.portfolio = true;
+    } else if (arg == "--mini-portfolio") {
+      eopts.miniPortfolio = static_cast<unsigned>(nextNum("--mini-portfolio"));
     } else if (arg == "--json") {
       jsonOut = true;
     } else if (arg == "--deadline") {
@@ -186,6 +208,13 @@ int main(int argc, char** argv) {
       usage();
       return 3;
     }
+  }
+
+  if (eopts.portfolio && eopts.miniPortfolio > 1) {
+    std::fprintf(stderr,
+                 "pugpara: --portfolio and --mini-portfolio are mutually "
+                 "exclusive\n");
+    return 3;
   }
 
   try {
@@ -259,11 +288,12 @@ int main(int argc, char** argv) {
         total.solverCalls += r.report.discharge.solverCalls;
       }
       std::printf(
-          "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"prefilter\":%s,"
+          "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"miniPortfolio\":%u,"
+          "\"prefilter\":%s,"
           "\"cacheHits\":%llu,\"cacheMisses\":%llu,\"cacheInsertions\":%llu,"
           "\"tier0Discharged\":%llu,\"slicedQueries\":%llu,"
-          "\"fullSmtQueries\":%llu,\"solverCalls\":%llu}}\n",
-          eopts.jobs, eopts.portfolio ? "true" : "false",
+          "\"fullSmtQueries\":%llu,\"solverCalls\":%llu},",
+          eopts.jobs, eopts.portfolio ? "true" : "false", eopts.miniPortfolio,
           opts.prefilter ? "true" : "false",
           static_cast<unsigned long long>(cs.hits),
           static_cast<unsigned long long>(cs.misses),
@@ -272,6 +302,36 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(total.sliced),
           static_cast<unsigned long long>(total.fullSmt),
           static_cast<unsigned long long>(total.solverCalls));
+      const smt::mini::MiniStatsSnapshot ms = smt::mini::snapshotMiniStats();
+      std::printf(
+          "\"minismt\":{\"conflicts\":%llu,\"decisions\":%llu,"
+          "\"propagations\":%llu,\"restarts\":%llu,\"learnts\":%llu,"
+          "\"lbdHistogram\":{\"glue\":%llu,\"mid\":%llu,\"large\":%llu},"
+          "\"learntsDeleted\":%llu,\"chronoBacktracks\":%llu,"
+          "\"inprocessRuns\":%llu,\"subsumed\":%llu,\"strengthened\":%llu,"
+          "\"eliminatedVars\":%llu,\"restoredVars\":%llu,"
+          "\"exportedClauses\":%llu,\"importedClauses\":%llu,"
+          "\"rewrites\":%llu,\"portfolioRaces\":%llu,\"winnerSeed\":%llu}}\n",
+          static_cast<unsigned long long>(ms.conflicts),
+          static_cast<unsigned long long>(ms.decisions),
+          static_cast<unsigned long long>(ms.propagations),
+          static_cast<unsigned long long>(ms.restarts),
+          static_cast<unsigned long long>(ms.learnts),
+          static_cast<unsigned long long>(ms.lbdGlue),
+          static_cast<unsigned long long>(ms.lbdMid),
+          static_cast<unsigned long long>(ms.lbdLarge),
+          static_cast<unsigned long long>(ms.learntsDeleted),
+          static_cast<unsigned long long>(ms.chronoBacktracks),
+          static_cast<unsigned long long>(ms.inprocessRuns),
+          static_cast<unsigned long long>(ms.subsumed),
+          static_cast<unsigned long long>(ms.strengthened),
+          static_cast<unsigned long long>(ms.eliminatedVars),
+          static_cast<unsigned long long>(ms.restoredVars),
+          static_cast<unsigned long long>(ms.exportedClauses),
+          static_cast<unsigned long long>(ms.importedClauses),
+          static_cast<unsigned long long>(ms.rewrites),
+          static_cast<unsigned long long>(ms.portfolioRaces),
+          static_cast<unsigned long long>(ms.winnerSeed));
     } else if (action == Action::Summary) {
       // Grouped per kernel, three properties per group (request order).
       for (size_t i = 0; i < results.size(); ++i) {
