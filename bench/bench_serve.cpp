@@ -1,0 +1,348 @@
+// Serve-mode benchmark: quantifies what the daemon buys over one-shot CLI
+// invocations on the built-in corpus, and gates the two properties the
+// daemon must not lose — verdict equality with the batch path and a >=10x
+// latency win on warm re-submission.
+//
+// Four phases, identical check options throughout:
+//   cold      one-shot baseline: fresh session + fresh engine per task
+//             (what `pugpara FILE --all` pays every invocation)
+//   serveCold first submission to a freshly started daemon (empty cache dir)
+//   warm      same daemon, same requests again — result-memo hot path
+//   diskWarm  daemon restarted on the same cache dir — persistence hot path
+//
+// Emits BENCH_serve.json. Exit 1 when a gate fails:
+//   * any verdict differs between the one-shot baseline and any serve phase
+//   * warm or disk-warm total latency is not >=10x below the cold total
+//
+// Env: PUGPARA_TIMEOUT_MS (solver budget, default 20000),
+//      PUGPARA_SERVE_BACKEND=z3|mini (default mini),
+//      PUGPARA_SERVE_WIDTH (default 8).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace pugpara;
+using Clock = std::chrono::steady_clock;
+
+struct TaskRun {
+  std::string kernel;
+  double coldMs = 0, serveColdMs = 0, warmMs = 0, diskWarmMs = 0;
+  // Canonical "kind=outcome;..." string per phase, for the equality gate.
+  std::string coldVerdicts, serveColdVerdicts, warmVerdicts, diskWarmVerdicts;
+};
+
+struct Percentiles {
+  double p50 = 0, p90 = 0, max = 0;
+};
+
+Percentiles percentiles(std::vector<double> ms) {
+  Percentiles p;
+  if (ms.empty()) return p;
+  std::sort(ms.begin(), ms.end());
+  p.p50 = ms[ms.size() / 2];
+  p.p90 = ms[std::min(ms.size() - 1, (ms.size() * 9) / 10)];
+  p.max = ms.back();
+  return p;
+}
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string percentilesJson(const Percentiles& p) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{\"p50\":%.3f,\"p90\":%.3f,\"max\":%.3f}",
+                p.p50, p.p90, p.max);
+  return buf;
+}
+
+/// Canonical verdict string of a finished check list, sorted so streaming
+/// order (serve) and request order (batch) compare equal.
+std::string verdictString(std::vector<std::string> parts) {
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ';';
+    out += p;
+  }
+  return out;
+}
+
+check::CheckOptions benchCheckOptions() {
+  check::CheckOptions opts;
+  opts.method = check::Method::Parameterized;
+  opts.solverTimeoutMs = bench::timeoutMs();
+  opts.backend = smt::Backend::Mini;
+  if (const char* env = std::getenv("PUGPARA_SERVE_BACKEND"))
+    if (std::string(env) == "z3") opts.backend = smt::Backend::Z3;
+  opts.width = 8;
+  if (const char* env = std::getenv("PUGPARA_SERVE_WIDTH"))
+    opts.width = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  return opts;
+}
+
+/// One-shot baseline for a single task: a brand-new session and engine, the
+/// way every separate CLI invocation starts.
+std::pair<double, std::string> runColdTask(const kernels::CorpusEntry& e,
+                                           const check::CheckOptions& opts) {
+  const Clock::time_point t0 = Clock::now();
+  check::VerificationSession session(kernels::sourceFor(e, opts.width));
+  std::vector<check::CheckRequest> requests;
+  for (const check::CheckKind kind :
+       {check::CheckKind::Races, check::CheckKind::Asserts,
+        check::CheckKind::Postconditions}) {
+    check::CheckRequest r;
+    r.kind = kind;
+    r.kernel = e.name;
+    r.options = opts;
+    requests.push_back(std::move(r));
+  }
+  engine::EngineOptions eopts;
+  eopts.jobs = 1;
+  engine::VerificationEngine engine(eopts);
+  const std::vector<check::CheckResult> results =
+      engine.runAll(session, requests);
+  std::vector<std::string> parts;
+  for (const auto& r : results)
+    parts.push_back(std::string(check::toString(r.kind)) + "=" +
+                    check::toString(r.report.outcome));
+  return {msSince(t0), verdictString(parts)};
+}
+
+/// Submits one task over the socket; returns (latencyMs, verdicts, memoHits).
+struct ServeRun {
+  double ms = 0;
+  std::string verdicts;
+  size_t memoHits = 0;
+  bool ok = false;
+};
+
+ServeRun runServeTask(serve::Client& client, const kernels::CorpusEntry& e,
+                      const check::CheckOptions& opts) {
+  serve::Request req;
+  req.id = "bench-" + e.name;
+  req.kind = "all";
+  req.source = kernels::sourceFor(e, opts.width);
+  req.options = opts;
+  const Clock::time_point t0 = Clock::now();
+  const serve::SubmitOutcome out = serve::submit(client, req);
+  ServeRun run;
+  run.ms = msSince(t0);
+  run.memoHits = out.memoHits;
+  run.ok = out.terminal == "done";
+  if (!run.ok) {
+    std::fprintf(stderr, "bench_serve: %s: terminal=%s %s\n", e.name.c_str(),
+                 out.terminal.c_str(), out.error.c_str());
+    return run;
+  }
+  std::vector<std::string> parts;
+  for (const auto& [cached, result] : out.results) {
+    const serve::jsonp::Value* report = result.find("report");
+    parts.push_back(result.getString("kind", "?") + "=" +
+                    (report ? report->getString("outcome", "?") : "?"));
+  }
+  run.verdicts = verdictString(parts);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const check::CheckOptions opts = benchCheckOptions();
+  const std::string cacheDir = "bench_serve_cache.tmp";
+  const std::string socketPath = "bench_serve.sock";
+  std::remove((cacheDir + "/queries.pqc").c_str());
+  std::remove((cacheDir + "/queries.pqc.lock").c_str());
+  std::remove((cacheDir + "/results.pqr").c_str());
+  std::remove((cacheDir + "/results.pqr.lock").c_str());
+  ::rmdir(cacheDir.c_str());
+
+  const std::vector<kernels::CorpusEntry>& entries = kernels::corpus();
+  std::vector<TaskRun> tasks(entries.size());
+
+  std::printf("== serve bench: %zu corpus tasks, backend=%s width=%u "
+              "timeout=%ums ==\n",
+              entries.size(), opts.backend == smt::Backend::Mini ? "mini" : "z3",
+              opts.width, opts.solverTimeoutMs);
+
+  // Phase 1: one-shot cold baseline.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    tasks[i].kernel = entries[i].name;
+    const auto [ms, verdicts] = runColdTask(entries[i], opts);
+    tasks[i].coldMs = ms;
+    tasks[i].coldVerdicts = verdicts;
+    std::printf("  cold      %-22s %9.2f ms\n", entries[i].name.c_str(), ms);
+  }
+
+  serve::ServeOptions sopts;
+  sopts.socketPath = socketPath;
+  sopts.jobs = 1;  // latency bench: no cross-task parallelism noise
+  sopts.cacheDir = cacheDir;
+  sopts.defaults = opts;
+
+  auto servePhase = [&](serve::Server& server, const char* label,
+                        double TaskRun::*msField,
+                        std::string TaskRun::*verdictField) -> size_t {
+    serve::Client client;
+    std::string err;
+    if (!client.connectUnix(socketPath, &err)) {
+      std::fprintf(stderr, "bench_serve: connect: %s\n", err.c_str());
+      std::exit(1);
+    }
+    size_t memoHits = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const ServeRun run = runServeTask(client, entries[i], opts);
+      if (!run.ok) std::exit(1);
+      tasks[i].*msField = run.ms;
+      tasks[i].*verdictField = run.verdicts;
+      memoHits += run.memoHits;
+      std::printf("  %-9s %-22s %9.2f ms  (%zu memo hit(s))\n", label,
+                  entries[i].name.c_str(), run.ms, run.memoHits);
+    }
+    (void)server;
+    return memoHits;
+  };
+
+  // Phases 2+3: fresh daemon — cold submission, then warm re-submission.
+  size_t warmMemoHits = 0;
+  {
+    serve::Server server(sopts);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "bench_serve: start: %s\n", err.c_str());
+      return 1;
+    }
+    servePhase(server, "serveCold", &TaskRun::serveColdMs,
+               &TaskRun::serveColdVerdicts);
+    warmMemoHits =
+        servePhase(server, "warm", &TaskRun::warmMs, &TaskRun::warmVerdicts);
+    server.stop();
+  }
+
+  // Phase 4: new daemon process-equivalent on the same cache dir.
+  size_t diskMemoHits = 0;
+  smt::AppendLog::Stats diskQueryStore;
+  {
+    serve::Server server(sopts);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "bench_serve: restart: %s\n", err.c_str());
+      return 1;
+    }
+    diskMemoHits = servePhase(server, "diskWarm", &TaskRun::diskWarmMs,
+                              &TaskRun::diskWarmVerdicts);
+    diskQueryStore = server.stats().queryStore;
+    server.stop();
+  }
+
+  // Totals, percentiles, gates.
+  double coldTotal = 0, serveColdTotal = 0, warmTotal = 0, diskWarmTotal = 0;
+  std::vector<double> coldMs, serveColdMs, warmMs, diskWarmMs;
+  bool verdictEquality = true;
+  for (const TaskRun& t : tasks) {
+    coldTotal += t.coldMs;
+    serveColdTotal += t.serveColdMs;
+    warmTotal += t.warmMs;
+    diskWarmTotal += t.diskWarmMs;
+    coldMs.push_back(t.coldMs);
+    serveColdMs.push_back(t.serveColdMs);
+    warmMs.push_back(t.warmMs);
+    diskWarmMs.push_back(t.diskWarmMs);
+    if (t.serveColdVerdicts != t.coldVerdicts ||
+        t.warmVerdicts != t.coldVerdicts ||
+        t.diskWarmVerdicts != t.coldVerdicts) {
+      verdictEquality = false;
+      std::fprintf(stderr,
+                   "bench_serve: VERDICT MISMATCH %s\n  cold:     %s\n"
+                   "  serveCold:%s\n  warm:     %s\n  diskWarm: %s\n",
+                   t.kernel.c_str(), t.coldVerdicts.c_str(),
+                   t.serveColdVerdicts.c_str(), t.warmVerdicts.c_str(),
+                   t.diskWarmVerdicts.c_str());
+    }
+  }
+  const size_t checks = entries.size() * 3;
+  const double warmSpeedup = warmTotal > 0 ? coldTotal / warmTotal : 0;
+  const double diskSpeedup = diskWarmTotal > 0 ? coldTotal / diskWarmTotal : 0;
+  const bool warm10x = warmSpeedup >= 10.0;
+  const bool disk10x = diskSpeedup >= 10.0;
+
+  std::printf(
+      "\ntotals: cold %.1f ms, serveCold %.1f ms, warm %.1f ms (%.1fx), "
+      "diskWarm %.1f ms (%.1fx)\n",
+      coldTotal, serveColdTotal, warmTotal, warmSpeedup, diskWarmTotal,
+      diskSpeedup);
+  std::printf("memo hits: warm %zu/%zu, diskWarm %zu/%zu\n", warmMemoHits,
+              checks, diskMemoHits, checks);
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\"bench\":\"serve\",\"config\":{\"tasks\":" << entries.size()
+       << ",\"checksPerTask\":3,\"backend\":\""
+       << (opts.backend == smt::Backend::Mini ? "mini" : "z3")
+       << "\",\"width\":" << opts.width
+       << ",\"timeoutMs\":" << opts.solverTimeoutMs << "},\"tasks\":[";
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskRun& t = tasks[i];
+    json << (i ? "," : "") << "{\"kernel\":\"" << t.kernel << "\",\"coldMs\":"
+         << t.coldMs << ",\"serveColdMs\":" << t.serveColdMs
+         << ",\"warmMs\":" << t.warmMs << ",\"diskWarmMs\":" << t.diskWarmMs
+         << ",\"verdicts\":\"" << t.coldVerdicts << "\"}";
+  }
+  json << "],\"summary\":{\"checks\":" << checks
+       << ",\"coldTotalMs\":" << coldTotal
+       << ",\"serveColdTotalMs\":" << serveColdTotal
+       << ",\"warmTotalMs\":" << warmTotal
+       << ",\"diskWarmTotalMs\":" << diskWarmTotal
+       << ",\"latencyMs\":{\"cold\":" << percentilesJson(percentiles(coldMs))
+       << ",\"serveCold\":" << percentilesJson(percentiles(serveColdMs))
+       << ",\"warm\":" << percentilesJson(percentiles(warmMs))
+       << ",\"diskWarm\":" << percentilesJson(percentiles(diskWarmMs))
+       << "},\"throughputChecksPerSec\":{\"cold\":"
+       << (coldTotal > 0 ? 1000.0 * checks / coldTotal : 0)
+       << ",\"serveCold\":"
+       << (serveColdTotal > 0 ? 1000.0 * checks / serveColdTotal : 0)
+       << ",\"warm\":" << (warmTotal > 0 ? 1000.0 * checks / warmTotal : 0)
+       << ",\"diskWarm\":"
+       << (diskWarmTotal > 0 ? 1000.0 * checks / diskWarmTotal : 0)
+       << "},\"cache\":{\"warmMemoHits\":" << warmMemoHits
+       << ",\"warmMemoHitRate\":" << (checks ? 1.0 * warmMemoHits / checks : 0)
+       << ",\"diskWarmMemoHits\":" << diskMemoHits
+       << ",\"diskWarmMemoHitRate\":"
+       << (checks ? 1.0 * diskMemoHits / checks : 0)
+       << ",\"queryStoreLoaded\":" << diskQueryStore.loaded
+       << ",\"queryStoreCorrupt\":" << diskQueryStore.corrupt
+       << "},\"speedup\":{\"warmVsCold\":" << warmSpeedup
+       << ",\"diskWarmVsCold\":" << diskSpeedup
+       << "},\"gates\":{\"verdictEquality\":"
+       << (verdictEquality ? "true" : "false")
+       << ",\"warm10x\":" << (warm10x ? "true" : "false")
+       << ",\"diskWarm10x\":" << (disk10x ? "true" : "false") << "}}}\n";
+  json.close();
+
+  if (!verdictEquality) {
+    std::fprintf(stderr, "bench_serve: FAIL: verdict equality gate\n");
+    return 1;
+  }
+  if (!warm10x || !disk10x) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL: 10x gate (warm %.1fx, diskWarm %.1fx)\n",
+                 warmSpeedup, diskSpeedup);
+    return 1;
+  }
+  std::printf("bench_serve: PASS (warm %.1fx, diskWarm %.1fx, verdicts "
+              "equal)\n",
+              warmSpeedup, diskSpeedup);
+  return 0;
+}

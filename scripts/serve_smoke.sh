@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Serve-mode smoke: boots the daemon, round-trips the whole built-in corpus
+# over the Unix socket, and checks the three properties the daemon must
+# hold in production shape:
+#   1. verdict equality — serve-mode outcomes == one-shot batch CLI outcomes
+#   2. warm re-submission hits the in-process result memo (memoHits > 0)
+#   3. a daemon *restart* on the same --cache-dir answers from disk
+#      (memoHits > 0 again in a fresh process)
+# plus an orderly shutdown via the shutdown op both times.
+#
+# Usage: scripts/serve_smoke.sh   (expects a completed default-preset build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=build/tools/pugpara
+[[ -x "$BIN" ]] || { echo "serve_smoke: $BIN not built" >&2; exit 1; }
+
+TMP=build/serve_smoke.tmp
+rm -rf "$TMP"
+mkdir -p "$TMP"
+SOCK="$TMP/serve.sock"
+TIMEOUT_MS="${PUGPARA_TIMEOUT_MS:-20000}"
+CHECK_FLAGS=(--all --width 8 --backend mini --timeout "$TIMEOUT_MS")
+
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$BIN" serve --socket "$SOCK" --cache-dir "$TMP/cache" \
+    --jobs "$(nproc)" 2>>"$TMP/serve.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    if "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon did not come up" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$BIN" submit --socket "$SOCK" --shutdown >/dev/null
+  wait "$SERVER_PID"
+  SERVER_PID=""
+}
+
+# (kind, kernel) -> outcome triplets from either the batch CLI's --json
+# document or the serve protocol's result-event lines (same embedded shape).
+verdicts() {
+  grep -oE '"kind":"[a-z]+","kernel":"[A-Za-z0-9_]+",("kernel2":"[A-Za-z0-9_]*",)?"report":\{"outcome":"[a-z-]+"' "$1" \
+    | sort
+}
+
+memo_hits() {
+  grep -oE '"event":"done".*"memoHits":[0-9]+' "$1" | grep -oE '[0-9]+$'
+}
+
+echo "== serve smoke: corpus dump =="
+"$BIN" corpus --width 8 > "$TMP/corpus.pug"
+
+echo "== serve smoke: batch CLI ground truth =="
+"$BIN" "$TMP/corpus.pug" "${CHECK_FLAGS[@]}" --jobs "$(nproc)" --json \
+  > "$TMP/batch.json" || [[ $? -le 2 ]]
+verdicts "$TMP/batch.json" > "$TMP/batch.verdicts"
+[[ -s "$TMP/batch.verdicts" ]] || { echo "serve_smoke: no batch verdicts" >&2; exit 1; }
+
+echo "== serve smoke: daemon pass 1 (cold) + pass 2 (warm) =="
+start_daemon
+"$BIN" submit --socket "$SOCK" "$TMP/corpus.pug" "${CHECK_FLAGS[@]}" --json \
+  > "$TMP/serve1.json" || [[ $? -le 2 ]]
+"$BIN" submit --socket "$SOCK" "$TMP/corpus.pug" "${CHECK_FLAGS[@]}" --json \
+  > "$TMP/serve2.json" || [[ $? -le 2 ]]
+stop_daemon
+
+echo "== serve smoke: daemon restart, pass 3 (disk-warm) =="
+start_daemon
+"$BIN" submit --socket "$SOCK" "$TMP/corpus.pug" "${CHECK_FLAGS[@]}" --json \
+  > "$TMP/serve3.json" || [[ $? -le 2 ]]
+stop_daemon
+
+echo "== serve smoke: verdict equality =="
+for pass in serve1 serve2 serve3; do
+  verdicts "$TMP/$pass.json" > "$TMP/$pass.verdicts"
+  if ! diff -u "$TMP/batch.verdicts" "$TMP/$pass.verdicts"; then
+    echo "serve_smoke: FAIL: $pass verdicts differ from batch CLI" >&2
+    exit 1
+  fi
+done
+echo "   $(wc -l < "$TMP/batch.verdicts") checks agree across batch + 3 serve passes"
+
+echo "== serve smoke: cache hit rates =="
+WARM_HITS=$(memo_hits "$TMP/serve2.json")
+DISK_HITS=$(memo_hits "$TMP/serve3.json")
+echo "   warm-process memo hits: $WARM_HITS, disk-warm memo hits: $DISK_HITS"
+if [[ "${WARM_HITS:-0}" -eq 0 ]]; then
+  echo "serve_smoke: FAIL: warm re-submission produced no memo hits" >&2
+  exit 1
+fi
+if [[ "${DISK_HITS:-0}" -eq 0 ]]; then
+  echo "serve_smoke: FAIL: restarted daemon produced no disk-cache hits" >&2
+  exit 1
+fi
+
+echo "== serve smoke: PASS =="

@@ -33,19 +33,37 @@ echo "== tier-1: MiniSMT ablation (technique agreement, reduced widths) =="
 # Also emits BENCH_minismt.json with the ablation timings.
 (cd build && PUGPARA_MINI_FAST=1 ./bench/ablate_minismt)
 
+echo "== tier-1: serve bench (verdict equality + 10x warm-cache gates) =="
+# Fails when serve-mode verdicts differ from the one-shot baseline or when
+# warm / disk-warm re-submission is not >=10x faster than cold single-shot;
+# also emits BENCH_serve.json with latency percentiles and hit rates.
+(cd build && ./bench/bench_serve)
+
+echo "== tier-1: serve smoke (daemon round-trip over the Unix socket) =="
+# Boots `pugpara serve`, submits the corpus twice, restarts the daemon on
+# the same cache dir, and asserts verdict equality with the batch CLI plus
+# non-zero warm and disk-warm cache hit rates.
+scripts/serve_smoke.sh
+
+# Keep the benchmark artifacts visible at the repo root (committed copies
+# are refreshed by PRs that change the measured numbers).
+cp build/BENCH_*.json .
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan stage skipped (--skip-tsan) =="
   exit 0
 fi
 
-echo "== tier-1: TSan build + engine concurrency suites =="
+echo "== tier-1: TSan build + engine/serve concurrency suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target pugpara_tests
 # Only the suites that exercise cross-thread machinery; the sequential
 # checker/solver suites add nothing under TSan and triple the runtime.
+# ServeTest drives the daemon's accept loop, reader threads, worker pool and
+# streaming writer; CacheStoreTest covers the write-behind journal thread.
 # Z3 ships uninstrumented, so suppress reports that originate inside it.
 TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
   ./build-tsan/tests/pugpara_tests \
-  --gtest_filter='EngineTest.*:PortfolioTest.*:QueryCacheTest.*:StructuralHashTest.*'
+  --gtest_filter='EngineTest.*:PortfolioTest.*:QueryCacheTest.*:StructuralHashTest.*:ServeTest.*:CacheStoreTest.*'
 
 echo "== tier-1: all stages passed =="

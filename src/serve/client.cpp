@@ -1,0 +1,168 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace pugpara::serve {
+
+Client::~Client() { close(); }
+
+bool Client::connectUnix(const std::string& path, std::string* err) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err) *err = "socket path too long: " + path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (err) *err = "socket(AF_UNIX) failed";
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = "cannot connect to '" + path + "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(const std::string& host, uint16_t port,
+                        std::string* err) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad IPv4 address '" + host + "'";
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (err) *err = "socket(AF_INET) failed";
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err)
+      *err = "cannot connect to " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  if (out.empty() || out.back() != '\n') out += '\n';
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::readLine() {
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (fd_ < 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return std::nullopt;
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+int SubmitOutcome::exitCode() const {
+  if (terminal != "done") return 3;
+  int worst = 0;
+  for (const auto& [cached, result] : results) {
+    const jsonp::Value* report = result.find("report");
+    const std::string outcome =
+        report ? report->getString("outcome", "unknown") : "unknown";
+    int code = 2;
+    if (outcome == "verified" || outcome == "no-bug-found") code = 0;
+    else if (outcome == "bug-found") code = 1;
+    worst = std::max(worst, code);
+  }
+  return worst;
+}
+
+SubmitOutcome submit(Client& client, const Request& req,
+                     const EventFn& onEvent) {
+  SubmitOutcome out;
+  if (!client.sendLine(encodeRequest(req))) {
+    out.terminal = "eof";
+    out.error = "send failed";
+    return out;
+  }
+  for (;;) {
+    const std::optional<std::string> line = client.readLine();
+    if (!line) {
+      out.terminal = "eof";
+      out.error = "connection closed before terminal event";
+      return out;
+    }
+    jsonp::Value ev;
+    std::string err;
+    if (!jsonp::parse(*line, &ev, &err)) {
+      out.terminal = "error";
+      out.error = "unparseable event: " + err;
+      return out;
+    }
+    // Cross-talk guard: multiplexed clients must filter by id themselves;
+    // the submit helper drives exactly one request per connection.
+    if (!req.id.empty() && ev.getString("id") != req.id) continue;
+    if (onEvent) onEvent(ev, *line);
+    const std::string event = ev.getString("event");
+    if (event == "result") {
+      const jsonp::Value* result = ev.find("result");
+      if (result)
+        out.results.emplace_back(ev.getBool("cached", false), *result);
+      continue;
+    }
+    if (event == "done") {
+      out.terminal = "done";
+      out.memoHits = ev.getU64("memoHits", 0);
+      const jsonp::Value* ms = ev.find("elapsedMs");
+      if (ms && ms->kind == jsonp::Value::Kind::Number)
+        out.elapsedMs = ms->number;
+      out.done = ev;
+      return out;
+    }
+    if (event == "overloaded" || event == "error" || event == "pong" ||
+        event == "stats" || event == "bye") {
+      out.terminal = event;
+      out.error = ev.getString("error");
+      out.done = ev;
+      return out;
+    }
+  }
+}
+
+}  // namespace pugpara::serve

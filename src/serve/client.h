@@ -1,0 +1,78 @@
+// Client side of the serve protocol: a blocking line-oriented socket
+// wrapper plus a submit helper that drives one request to its terminal
+// event. Used by `pugpara submit`, the serve bench and the smoke tests —
+// external clients in any language can speak the protocol with nothing
+// more than a socket and a JSON library (see serve/protocol.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/json_parse.h"
+#include "serve/protocol.h"
+
+namespace pugpara::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      buf_ = std::move(other.buf_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool connectUnix(const std::string& path, std::string* err);
+  bool connectTcp(const std::string& host, uint16_t port, std::string* err);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one line (appends '\n' if missing). False on a broken pipe.
+  bool sendLine(const std::string& line);
+
+  /// Blocks for the next full line; nullopt on EOF / error.
+  std::optional<std::string> readLine();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Everything one request produced, in arrival order.
+struct SubmitOutcome {
+  /// Parsed `result` events: .second is the embedded CheckResult object.
+  std::vector<std::pair<bool, jsonp::Value>> results;  // (cached, result)
+  jsonp::Value done;       // the done event (when terminal == "done")
+  std::string terminal;    // "done" | "overloaded" | "error" | "eof"
+  std::string error;       // message for "error"/"eof"
+  size_t memoHits = 0;
+  double elapsedMs = 0;
+
+  /// Worst CLI exit code over the results: 0 clean, 1 bug found, 2 unknown,
+  /// 3 transport/protocol failure.
+  [[nodiscard]] int exitCode() const;
+};
+
+/// Sends `req` and pumps events until the request's terminal event.
+/// `onEvent` (optional) sees every event as it arrives, parsed and raw —
+/// the streaming hook the CLI uses to print results the moment they land.
+using EventFn = std::function<void(const jsonp::Value&, const std::string&)>;
+SubmitOutcome submit(Client& client, const Request& req,
+                     const EventFn& onEvent = nullptr);
+
+}  // namespace pugpara::serve

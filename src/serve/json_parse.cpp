@@ -1,0 +1,264 @@
+#include "serve/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pugpara::serve::jsonp {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string Value::getString(std::string_view key, std::string fallback) const {
+  const Value* v = find(key);
+  return v && v->kind == Kind::String ? v->str : std::move(fallback);
+}
+
+uint64_t Value::getU64(std::string_view key, uint64_t fallback) const {
+  const Value* v = find(key);
+  if (!v || v->kind != Kind::Number || v->number < 0) return fallback;
+  return static_cast<uint64_t>(v->number);
+}
+
+bool Value::getBool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  bool run(Value* out) {
+    skipWs();
+    if (!value(out)) return false;
+    skipWs();
+    if (pos_ != text_.size()) return fail("trailing bytes after value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (err_) *err_ = why + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool expect(char c) {
+    if (atEnd() || text_[pos_] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word, Value* out, Value&& v) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool value(Value* out) {
+    if (atEnd()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        out->kind = Value::Kind::String;
+        return string(&out->str);
+      }
+      case 't': {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return literal("true", out, std::move(v));
+      }
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return literal("false", out, std::move(v));
+      }
+      case 'n': return literal("null", out, Value{});
+      default: return number(out);
+    }
+  }
+
+  bool object(Value* out) {
+    if (!expect('{')) return false;
+    out->kind = Value::Kind::Object;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!string(&key)) return false;
+      skipWs();
+      if (!expect(':')) return false;
+      skipWs();
+      Value v;
+      if (!value(&v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (atEnd()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool array(Value* out) {
+    if (!expect('[')) return false;
+    out->kind = Value::Kind::Array;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Value v;
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skipWs();
+      if (atEnd()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool hex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return fail("bad \\u escape digit");
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void appendUtf8(std::string* s, uint32_t cp) {
+    if (cp < 0x80) {
+      *s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *s += static_cast<char>(0xc0 | (cp >> 6));
+      *s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      *s += static_cast<char>(0xe0 | (cp >> 12));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      *s += static_cast<char>(0xf0 | (cp >> 18));
+      *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *s += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool string(std::string* out) {
+    if (atEnd() || peek() != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (!atEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (atEnd()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!hex4(&cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo >= 0xdc00 && lo <= 0xdfff)
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+              else
+                return fail("unpaired surrogate");
+            } else {
+              return fail("unpaired surrogate");
+            }
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Value* out) {
+    const size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                        peek() == '+' || peek() == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("malformed number");
+    out->kind = Value::Kind::Number;
+    out->number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string* err_;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value* out, std::string* err) {
+  return Parser(text, err).run(out);
+}
+
+}  // namespace pugpara::serve::jsonp

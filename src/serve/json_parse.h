@@ -1,0 +1,46 @@
+// Minimal JSON reader for the serve wire protocol.
+//
+// support/json.h is emission-only by design; the daemon is the first place
+// the tool *receives* JSON (one request object per line), so this header
+// adds the matching reader. Strict RFC 8259 subset: no comments, no
+// trailing commas; numbers parse as double (the protocol only carries small
+// integers); \uXXXX escapes decode to UTF-8 including surrogate pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pugpara::serve::jsonp {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion order
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+  [[nodiscard]] bool isString() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience accessors with defaults (wrong-typed members fall back).
+  [[nodiscard]] std::string getString(std::string_view key,
+                                      std::string fallback = "") const;
+  [[nodiscard]] uint64_t getU64(std::string_view key,
+                                uint64_t fallback = 0) const;
+  [[nodiscard]] bool getBool(std::string_view key, bool fallback) const;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). On failure returns false and fills `err`.
+bool parse(std::string_view text, Value* out, std::string* err);
+
+}  // namespace pugpara::serve::jsonp

@@ -1,0 +1,122 @@
+#include "serve/result_memo.h"
+
+#include <cinttypes>
+
+#include "serve/protocol.h"
+
+namespace pugpara::serve {
+
+namespace {
+
+uint64_t seededFnv(std::string_view bytes, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche (splitmix64) so the two seeds behave as independent
+  // hash functions even on short inputs.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+ResultKey resultKey(const std::string& source,
+                    const check::CheckRequest& req) {
+  const std::string canon = canonicalCheckString(source, req);
+  return {seededFnv(canon, 0x9ae16a3b2f90404fULL),
+          seededFnv(canon, 0xc2b2ae3d27d4eb4fULL)};
+}
+
+ResultMemo::~ResultMemo() { close(); }
+
+bool ResultMemo::openPersistent(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const bool ok =
+      log_.open(path, "pqr1", [this](std::string_view payload) {
+        // Payload: `<hi> <lo> <outcome> <json>` — json is the tail and may
+        // contain spaces. Called from open() under mu_; direct map access.
+        ResultKey key;
+        char outcome[24] = {0};
+        int consumed = 0;
+        if (std::sscanf(std::string(payload.substr(0, 64)).c_str(),
+                        "%16" SCNx64 " %16" SCNx64 " %23s%n", &key.hi,
+                        &key.lo, outcome, &consumed) != 3)
+          return;
+        // Find the json tail: skip the three head tokens + separator.
+        size_t pos = 0;
+        for (int tok = 0; tok < 3; ++tok) {
+          pos = payload.find(' ', pos);
+          if (pos == std::string_view::npos) return;
+          ++pos;
+        }
+        Entry e;
+        e.outcome = outcome;
+        e.resultJson = std::string(payload.substr(pos));
+        if (e.resultJson.empty()) return;
+        if (entries_.emplace(key, std::move(e)).second) ++loaded_;
+      });
+  persistent_ = ok;
+  return ok;
+}
+
+std::optional<ResultMemo::Entry> ResultMemo::lookup(const ResultKey& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultMemo::insert(const ResultKey& key, const std::string& outcome,
+                        const std::string& resultJson) {
+  if (outcome == "unknown") return;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    fresh = entries_.emplace(key, Entry{outcome, resultJson}).second;
+    if (fresh) ++insertions_;
+  }
+  if (!fresh || !persistent_) return;
+  char head[80];
+  std::snprintf(head, sizeof head, "%016" PRIx64 " %016" PRIx64 " %s", key.hi,
+                key.lo, outcome.c_str());
+  log_.append(std::string(head) + " " + resultJson);
+}
+
+void ResultMemo::flush() { log_.flush(); }
+
+void ResultMemo::close() {
+  log_.close();
+  std::lock_guard<std::mutex> guard(mu_);
+  persistent_ = false;
+}
+
+ResultMemo::Stats ResultMemo::stats() const {
+  const smt::AppendLog::Stats ls = log_.stats();
+  std::lock_guard<std::mutex> guard(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.loaded = loaded_;
+  s.corrupt = ls.corrupt;
+  s.persistent = persistent_;
+  s.writable = ls.writable;
+  return s;
+}
+
+size_t ResultMemo::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+}  // namespace pugpara::serve

@@ -1,0 +1,99 @@
+// Content-addressed full-check result memo.
+//
+// The query cache (smt/query_cache.h) reuses *per-query* Sat/Unsat answers,
+// which is what makes the unchanged barrier intervals of an edited kernel
+// cheap. This memo sits one level up: a byte-identical re-submission of a
+// kernel with the same semantics-affecting options short-circuits the whole
+// check — parse, VC generation, solving, replay — to a map lookup, which is
+// what turns warm-path latency into microseconds.
+//
+// Keyed by a 128-bit digest of protocol::canonicalCheckString (source text
+// plus every option that changes meaning; time budgets excluded). Only
+// settled outcomes are remembered — Unknown depends on the budget of the
+// run that produced it and is never memoized. Entries store the original
+// CheckResult JSON verbatim, so a memo hit streams exactly the bytes the
+// solving run produced.
+//
+// Persistence piggybacks on the same checksummed append-log as the query
+// store (one `pqr1` record per entry, the JSON as payload tail), so a
+// daemon restarted on the same cache directory serves identical
+// re-submissions from disk without re-solving anything.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "check/request.h"
+#include "smt/cache_store.h"
+
+namespace pugpara::serve {
+
+struct ResultKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const ResultKey& a, const ResultKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+struct ResultKeyHash {
+  size_t operator()(const ResultKey& k) const {
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Digest of the canonical check identity (two seeded FNV streams).
+[[nodiscard]] ResultKey resultKey(const std::string& source,
+                                  const check::CheckRequest& req);
+
+class ResultMemo {
+ public:
+  struct Entry {
+    std::string outcome;     // check::toString(Outcome) token
+    std::string resultJson;  // CheckResult::json() of the solving run
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t loaded = 0;   // entries replayed from disk
+    uint64_t corrupt = 0;  // damaged disk records skipped
+    bool persistent = false;
+    bool writable = false;
+  };
+
+  ResultMemo() = default;
+  ~ResultMemo();
+
+  /// Optional persistence: replays surviving records, then journals every
+  /// fresh entry write-behind. Without this the memo is process-local.
+  bool openPersistent(const std::string& path);
+
+  [[nodiscard]] std::optional<Entry> lookup(const ResultKey& key);
+
+  /// Remembers a settled result. Unknown outcomes are dropped (they are a
+  /// budget artifact, not ground truth). resultJson must be newline-free
+  /// (CheckResult::json() is — the emitter escapes everything).
+  void insert(const ResultKey& key, const std::string& outcome,
+              const std::string& resultJson);
+
+  void flush();
+  void close();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ResultKey, Entry, ResultKeyHash> entries_;
+  smt::AppendLog log_;
+  bool persistent_ = false;
+  uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, loaded_ = 0;
+};
+
+}  // namespace pugpara::serve

@@ -1,0 +1,228 @@
+#include "smt/cache_store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pugpara::smt {
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+AppendLog::~AppendLog() { close(); }
+
+bool AppendLog::open(const std::string& path, std::string magic,
+                     RecordFn onRecord) {
+  close();
+  std::lock_guard<std::mutex> guard(mu_);
+  magic_ = std::move(magic);
+  stats_ = {};
+
+  // Replay phase: every surviving record, skipping anything damaged. A torn
+  // tail (the crash case), a hand-edited line, or bytes from a rogue second
+  // writer all fail the CRC or the shape check and degrade to a miss.
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        // `<magic> <crc> <payload>`
+        const std::string prefix = magic_ + ' ';
+        if (line.rfind(prefix, 0) != 0) {
+          ++stats_.corrupt;
+          continue;
+        }
+        const size_t crcBegin = prefix.size();
+        const size_t crcEnd = line.find(' ', crcBegin);
+        if (crcEnd == std::string::npos || crcEnd - crcBegin != 16) {
+          ++stats_.corrupt;
+          continue;
+        }
+        uint64_t crc = 0;
+        if (std::sscanf(line.c_str() + crcBegin, "%16" SCNx64, &crc) != 1) {
+          ++stats_.corrupt;
+          continue;
+        }
+        const std::string_view payload =
+            std::string_view(line).substr(crcEnd + 1);
+        if (fnv1a64(payload) != crc) {
+          ++stats_.corrupt;
+          continue;
+        }
+        ++stats_.loaded;
+        if (onRecord) onRecord(payload);
+      }
+    }
+  }
+
+  // Writer lock: exclusive, non-blocking. Losing it is not an error — the
+  // store degrades to a read-only snapshot so two daemons on one cache
+  // directory coexist safely instead of interleaving appends.
+  const std::string lockPath = path + ".lock";
+  lockFd_ = ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  bool writable = false;
+  if (lockFd_ >= 0 && ::flock(lockFd_, LOCK_EX | LOCK_NB) == 0) {
+    writable = true;
+  } else if (lockFd_ >= 0) {
+    ::close(lockFd_);
+    lockFd_ = -1;
+  }
+
+  if (writable) {
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_) {
+      if (lockFd_ >= 0) ::close(lockFd_);
+      lockFd_ = -1;
+      return false;
+    }
+    stop_ = false;
+    journal_ = std::thread([this] { journalLoop(); });
+  }
+  stats_.open = true;
+  stats_.writable = writable;
+  return true;
+}
+
+void AppendLog::append(std::string payload) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!stats_.open || !stats_.writable || stop_) {
+    ++stats_.dropped;
+    return;
+  }
+  char crc[20];
+  std::snprintf(crc, sizeof crc, "%016" PRIx64, fnv1a64(payload));
+  std::string line = magic_;
+  line += ' ';
+  line += crc;
+  line += ' ';
+  line += payload;
+  line += '\n';
+  queue_.push_back(std::move(line));
+  cv_.notify_one();
+}
+
+void AppendLog::journalLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty() && stop_) return;
+    std::deque<std::string> batch;
+    batch.swap(queue_);
+    writing_ = true;
+    lk.unlock();
+    for (const std::string& line : batch)
+      std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+    lk.lock();
+    writing_ = false;
+    stats_.appended += batch.size();
+    if (queue_.empty()) drained_.notify_all();
+  }
+}
+
+void AppendLog::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!stats_.writable) return;
+  drained_.wait(lk, [&] { return queue_.empty() && !writing_; });
+}
+
+void AppendLog::close() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!stats_.open) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (journal_.joinable()) journal_.join();
+  std::lock_guard<std::mutex> guard(mu_);
+  // The journal thread exits only once the queue is drained, so no queued
+  // record is lost on an orderly close.
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (lockFd_ >= 0) {
+    ::close(lockFd_);  // releases the flock
+    lockFd_ = -1;
+  }
+  stats_.open = false;
+  stats_.writable = false;
+}
+
+AppendLog::Stats AppendLog::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+// ---- PersistentQueryStore --------------------------------------------------
+
+namespace {
+
+/// Query record payload: `<hi> <lo> <sat|unsat>` (hex keys).
+std::string queryPayload(const QueryKey& key, CheckResult result) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 " %016" PRIx64 " %s", key.hi,
+                key.lo, toString(result));
+  return buf;
+}
+
+bool parseQueryPayload(std::string_view payload, QueryKey* key,
+                       CheckResult* result) {
+  char res[16] = {0};
+  if (std::sscanf(std::string(payload).c_str(),
+                  "%16" SCNx64 " %16" SCNx64 " %15s", &key->hi, &key->lo,
+                  res) != 3)
+    return false;
+  if (std::strcmp(res, "sat") == 0) *result = CheckResult::Sat;
+  else if (std::strcmp(res, "unsat") == 0) *result = CheckResult::Unsat;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+PersistentQueryStore::~PersistentQueryStore() { close(); }
+
+bool PersistentQueryStore::open(const std::string& path, QueryCache& cache) {
+  cache_ = &cache;
+  const bool ok = log_.open(path, "pqc1", [&cache](std::string_view payload) {
+    QueryKey key;
+    CheckResult result;
+    // A payload that passed the CRC but fails the shape check was written
+    // by a different format revision; skip it (miss, never a verdict).
+    if (parseQueryPayload(payload, &key, &result)) cache.prime(key, result);
+  });
+  if (!ok) {
+    cache_ = nullptr;
+    return false;
+  }
+  cache.setSink([this](const QueryKey& key, CheckResult result) {
+    log_.append(queryPayload(key, result));
+  });
+  return true;
+}
+
+void PersistentQueryStore::flush() { log_.flush(); }
+
+void PersistentQueryStore::close() {
+  if (cache_) {
+    cache_->setSink(nullptr);
+    cache_ = nullptr;
+  }
+  log_.close();
+}
+
+}  // namespace pugpara::smt

@@ -1,0 +1,126 @@
+// Disk-persistent, content-addressed backing for the solver-query cache.
+//
+// The serve daemon (src/serve) keeps its query cache warm across process
+// restarts by journaling every fresh Sat/Unsat entry to an append-only log.
+// The format is built for crash tolerance, not elegance:
+//
+//   * One record per line:  `<magic> <crc16hex> <payload>`. The CRC (FNV-1a
+//     over the payload bytes) makes a torn or truncated tail line — the only
+//     kind of damage an append-only writer can leave behind — detectable:
+//     such records degrade to a cache miss, never to a wrong verdict.
+//   * Appends go through a write-behind thread: the solver hot path only
+//     enqueues a formatted line under a queue mutex; file writes and flushes
+//     happen on the journal thread. flush() exists for shutdown and tests.
+//   * A sidecar flock (`<path>.lock`) makes the writer exclusive. A second
+//     process (or store instance) opening the same path gets a read-only
+//     view: it loads the snapshot but its appends are dropped, so two
+//     daemons pointed at one cache directory coexist without interleaving
+//     torn writes. stats().writable reports which side of the lock you got.
+//
+// Records are only ever appended, so the file is a grow-only superset of
+// every entry the cache held; LRU eviction in memory never loses disk state.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "smt/query_cache.h"
+
+namespace pugpara::smt {
+
+/// FNV-1a 64-bit — the record checksum. Exposed for tests that forge
+/// corrupt records.
+[[nodiscard]] uint64_t fnv1a64(std::string_view bytes);
+
+/// Generic checksummed append-only record log. Line format:
+///   `<magic> <crc%016x> <payload>\n`
+/// Payload must be newline-free; everything else (spaces included) is the
+/// front-end's business. Unparseable or checksum-failing lines are counted
+/// and skipped on load — a reader never trusts a damaged record.
+class AppendLog {
+ public:
+  struct Stats {
+    uint64_t loaded = 0;    // valid records replayed by open()
+    uint64_t corrupt = 0;   // damaged/torn records skipped by open()
+    uint64_t appended = 0;  // records the journal thread wrote
+    uint64_t dropped = 0;   // appends ignored (read-only / closed)
+    bool open = false;
+    bool writable = false;  // false = another writer holds the flock
+  };
+
+  using RecordFn = std::function<void(std::string_view payload)>;
+
+  AppendLog() = default;
+  ~AppendLog();
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Loads existing records (invoking `onRecord` per valid payload), then
+  /// acquires the writer flock and starts the journal thread. When another
+  /// writer holds the lock the store still loads but stays read-only.
+  /// Returns false only when the file exists and cannot be read, or a
+  /// missing file cannot be created.
+  bool open(const std::string& path, std::string magic, RecordFn onRecord);
+
+  /// Enqueues one record for the journal thread. Never blocks on I/O.
+  /// Silently dropped (and counted) when read-only or closed.
+  void append(std::string payload);
+
+  /// Blocks until every queued record reached the OS (fflush; no fsync —
+  /// crash tolerance comes from the record CRCs, not from durability
+  /// ceremony).
+  void flush();
+
+  /// Drains the queue, stops the journal thread, releases the flock.
+  void close();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void journalLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the journal thread
+  std::condition_variable drained_;  // wakes flush()/close() waiters
+  std::deque<std::string> queue_;    // formatted full lines
+  bool stop_ = false;
+  bool writing_ = false;  // journal thread holds a batch outside mu_
+  std::thread journal_;
+  std::FILE* file_ = nullptr;
+  int lockFd_ = -1;
+  std::string magic_;
+  Stats stats_;
+};
+
+/// The query cache's disk mirror. open() replays surviving records into the
+/// cache (prime — no sink echo), then registers itself as the cache's sink
+/// so every fresh Sat/Unsat entry is journaled write-behind. Keyed by the
+/// same 128-bit structural digests as the in-memory cache, so entries are
+/// valid across processes, machines and runs.
+class PersistentQueryStore {
+ public:
+  PersistentQueryStore() = default;
+  ~PersistentQueryStore();
+
+  /// Loads `path` into `cache` and wires the sink. The store must outlive
+  /// the cache's last insert (Server destroys the engine first); close()
+  /// detaches the sink.
+  bool open(const std::string& path, QueryCache& cache);
+
+  void flush();
+  void close();
+
+  [[nodiscard]] AppendLog::Stats stats() const { return log_.stats(); }
+
+ private:
+  AppendLog log_;
+  QueryCache* cache_ = nullptr;
+};
+
+}  // namespace pugpara::smt

@@ -27,19 +27,67 @@ QueryKey queryKey(std::span<const expr::Expr> assertions,
 
 std::optional<CheckResult> QueryCache::lookup(const QueryKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+bool QueryCache::store(const QueryKey& key, CheckResult result) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  lru_.push_front({key, result});
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  evictOverCapacityLocked();
+  return true;
+}
+
+void QueryCache::evictOverCapacityLocked() {
+  if (capacity_ == 0) return;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 void QueryCache::insert(const QueryKey& key, CheckResult result) {
   if (result == CheckResult::Unknown) return;
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!store(key, result)) return;
+    sink = sink_;
+  }
+  // Outside the lock: the sink may take its own locks (the persistent
+  // store's journal queue) and must never serialize the solver hot path
+  // behind cache bookkeeping.
+  if (sink) sink(key, result);
+}
+
+void QueryCache::prime(const QueryKey& key, CheckResult result) {
+  if (result == CheckResult::Unknown) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.emplace(key, result).second) ++stats_.insertions;
+  store(key, result);
+}
+
+void QueryCache::setCapacity(size_t maxEntries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = maxEntries;
+  evictOverCapacityLocked();
+}
+
+void QueryCache::setSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
 }
 
 QueryCache::Stats QueryCache::stats() const {
@@ -49,7 +97,7 @@ QueryCache::Stats QueryCache::stats() const {
 
 size_t QueryCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  return lru_.size();
 }
 
 bool QueryCache::load(const std::string& path) {
@@ -63,7 +111,7 @@ bool QueryCache::load(const std::string& path) {
     if (res == "sat") r = CheckResult::Sat;
     else if (res == "unsat") r = CheckResult::Unsat;
     else return false;
-    if (entries_.emplace(QueryKey{hi, lo}, r).second) ++stats_.insertions;
+    store(QueryKey{hi, lo}, r);  // no sink: the entry came from disk
   }
   return in.eof();
 }
@@ -73,8 +121,8 @@ bool QueryCache::save(const std::string& path) const {
   if (!out) return false;
   std::lock_guard<std::mutex> lock(mu_);
   out << std::hex;
-  for (const auto& [key, result] : entries_)
-    out << key.hi << ' ' << key.lo << ' ' << toString(result) << '\n';
+  for (const Entry& e : lru_)
+    out << e.key.hi << ' ' << e.key.lo << ' ' << toString(e.result) << '\n';
   return static_cast<bool>(out);
 }
 

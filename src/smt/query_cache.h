@@ -11,9 +11,18 @@
 // A cached Unsat short-circuits the solver entirely (no model is needed).
 // A cached Sat is advisory: the caller still solves to obtain a model, but
 // the hit is counted and the entry keeps the persistent file warm.
+//
+// Memory is bounded: setCapacity() caps the entry count and evicts in LRU
+// order (a lookup refreshes recency), so a long-running server can keep the
+// cache hot for days without unbounded growth. The optional sink fires once
+// per newly inserted entry — the persistent store (smt/cache_store.h) hooks
+// it to journal fresh results to disk without the solver hot path ever
+// waiting on I/O.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -61,13 +70,37 @@ class QueryCache {
     uint64_t hits = 0;        // lookups answered from the cache
     uint64_t misses = 0;      // lookups that fell through to the solver
     uint64_t insertions = 0;  // distinct entries stored
+    uint64_t evictions = 0;   // entries dropped by the LRU capacity cap
   };
 
-  /// Returns the cached result and counts a hit; counts a miss otherwise.
+  /// Called once per *newly stored* entry (insertions, not refreshes),
+  /// outside the cache lock. The persistent store uses this to append the
+  /// entry to its write-behind journal.
+  using Sink = std::function<void(const QueryKey&, CheckResult)>;
+
+  QueryCache() = default;
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and counts a hit (refreshing the entry's LRU
+  /// position); counts a miss otherwise.
   [[nodiscard]] std::optional<CheckResult> lookup(const QueryKey& key);
 
-  /// Stores a ground-truth result. Unknown is silently dropped.
+  /// Stores a ground-truth result. Unknown is silently dropped. Evicts the
+  /// least recently used entry when the capacity cap is exceeded.
   void insert(const QueryKey& key, CheckResult result);
+
+  /// Like insert but never notifies the sink — for replaying entries that
+  /// already live on disk (QueryCache::load, PersistentQueryStore::open).
+  void prime(const QueryKey& key, CheckResult result);
+
+  /// Caps the entry count; 0 (the default) = unbounded. Shrinking below the
+  /// current size evicts immediately, coldest first.
+  void setCapacity(size_t maxEntries);
+
+  /// Registers the new-entry sink (replacing any previous one). The sink
+  /// target must outlive the cache or be cleared with setSink(nullptr)
+  /// before it dies.
+  void setSink(Sink sink);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] size_t size() const;
@@ -75,14 +108,30 @@ class QueryCache {
   /// Best-effort persistence (one `hi lo result` line per entry). Merges
   /// into the current contents on load; returns false when the file is
   /// missing or malformed (the cache is then left unchanged or partially
-  /// merged — never corrupted).
+  /// merged — never corrupted). The richer checksummed, crash-tolerant
+  /// on-disk format lives in smt/cache_store.h; this plain format is kept
+  /// for the CLI's --cache flag.
   bool load(const std::string& path);
   [[nodiscard]] bool save(const std::string& path) const;
 
  private:
+  struct Entry {
+    QueryKey key;
+    CheckResult result;
+  };
+
+  /// Inserts under mu_; returns true when the entry is new. Caller decides
+  /// whether to notify the sink.
+  bool store(const QueryKey& key, CheckResult result);
+  void evictOverCapacityLocked();
+
   mutable std::mutex mu_;
-  std::unordered_map<QueryKey, CheckResult, QueryKeyHash> entries_;
+  size_t capacity_ = 0;  // 0 = unbounded
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<QueryKey, std::list<Entry>::iterator, QueryKeyHash>
+      index_;
   Stats stats_;
+  Sink sink_;  // guarded by mu_ for assignment; invoked outside the lock
 };
 
 /// Wraps `inner` with the cache: check() first consults `cache` with the key

@@ -180,6 +180,61 @@ TEST(QueryCacheTest, SaveAndLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(QueryCacheTest, LruEvictionAtCapacity) {
+  smt::QueryCache cache(/*capacity=*/3);
+  cache.insert({1, 1}, smt::CheckResult::Unsat);
+  cache.insert({2, 2}, smt::CheckResult::Unsat);
+  cache.insert({3, 3}, smt::CheckResult::Unsat);
+  cache.insert({4, 4}, smt::CheckResult::Unsat);  // evicts {1,1}
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup({1, 1}).has_value());
+  EXPECT_TRUE(cache.lookup({4, 4}).has_value());
+}
+
+TEST(QueryCacheTest, LookupRefreshesRecency) {
+  smt::QueryCache cache(/*capacity=*/2);
+  cache.insert({1, 1}, smt::CheckResult::Unsat);
+  cache.insert({2, 2}, smt::CheckResult::Sat);
+  EXPECT_TRUE(cache.lookup({1, 1}).has_value());  // {2,2} is now coldest
+  cache.insert({3, 3}, smt::CheckResult::Unsat);
+  EXPECT_TRUE(cache.lookup({1, 1}).has_value());
+  EXPECT_FALSE(cache.lookup({2, 2}).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(QueryCacheTest, SetCapacityShrinkEvictsColdestFirst) {
+  smt::QueryCache cache;  // unbounded
+  for (uint64_t i = 1; i <= 4; ++i)
+    cache.insert({i, i}, smt::CheckResult::Unsat);
+  EXPECT_TRUE(cache.lookup({1, 1}).has_value());  // refresh the oldest
+  cache.setCapacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_TRUE(cache.lookup({1, 1}).has_value());
+  EXPECT_TRUE(cache.lookup({4, 4}).has_value());
+  EXPECT_FALSE(cache.lookup({2, 2}).has_value());
+  EXPECT_FALSE(cache.lookup({3, 3}).has_value());
+}
+
+TEST(QueryCacheTest, SinkFiresOncePerNewEntryOnly) {
+  smt::QueryCache cache;
+  std::vector<std::pair<smt::QueryKey, smt::CheckResult>> seen;
+  cache.setSink([&](const smt::QueryKey& k, smt::CheckResult r) {
+    seen.emplace_back(k, r);
+  });
+  cache.insert({1, 1}, smt::CheckResult::Unsat);
+  cache.insert({1, 1}, smt::CheckResult::Unsat);  // refresh: no re-notify
+  cache.insert({2, 2}, smt::CheckResult::Unknown);  // dropped: no notify
+  cache.prime({3, 3}, smt::CheckResult::Sat);       // replay: no notify
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, (smt::QueryKey{1, 1}));
+  EXPECT_EQ(seen[0].second, smt::CheckResult::Unsat);
+  cache.setSink(nullptr);
+  cache.insert({4, 4}, smt::CheckResult::Sat);
+  EXPECT_EQ(seen.size(), 1u);
+}
+
 // ---- Engine ----------------------------------------------------------------
 
 TEST(EngineTest, BatchResultsDeterministicAcrossJobCounts) {

@@ -1,0 +1,454 @@
+// Tests of the serve subsystem: the crash-tolerant append log + persistent
+// query store (CacheStoreTest), the NDJSON wire protocol (ServeProtocolTest)
+// and the daemon itself over a real Unix socket (ServeTest). ServeTest and
+// CacheStoreTest run under the ThreadSanitizer preset (scripts/tier1.sh) —
+// keep the fixture names matched by its filter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/session.h"
+#include "kernels/corpus.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "smt/cache_store.h"
+#include "smt/query_cache.h"
+
+namespace pugpara {
+namespace {
+
+using check::CheckKind;
+using check::CheckOptions;
+using check::CheckRequest;
+
+/// Unique per-test path under the gtest temp dir (ctest may run tests
+/// concurrently; shared socket/store paths would cross-talk).
+std::string tempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "pugpara_" + info->test_suite_name() + "_" +
+         info->name() + "_" + name;
+}
+
+CheckOptions miniOpts() {
+  CheckOptions o;
+  o.method = check::Method::Parameterized;
+  o.width = 8;
+  o.backend = smt::Backend::Mini;
+  o.solverTimeoutMs = 120000;
+  return o;
+}
+
+std::vector<std::string> fileLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void writeLines(const std::string& path, const std::vector<std::string>& lines,
+                bool finalNewline = true) {
+  std::ofstream out(path, std::ios::trunc);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || finalNewline) out << '\n';
+  }
+}
+
+// ---- CacheStoreTest --------------------------------------------------------
+
+TEST(CacheStoreTest, RoundTripThroughSinkAndReplay) {
+  const std::string path = tempPath("store.pqc");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  {
+    smt::QueryCache cache;
+    smt::PersistentQueryStore store;
+    ASSERT_TRUE(store.open(path, cache));
+    cache.insert({1, 2}, smt::CheckResult::Unsat);
+    cache.insert({3, 4}, smt::CheckResult::Sat);
+    // Unknown must neither enter the cache nor reach the journal.
+    cache.insert({5, 6}, smt::CheckResult::Unknown);
+    store.flush();
+    EXPECT_EQ(store.stats().appended, 2u);
+    store.close();
+  }
+  smt::QueryCache fresh;
+  smt::PersistentQueryStore store;
+  ASSERT_TRUE(store.open(path, fresh));
+  EXPECT_EQ(store.stats().loaded, 2u);
+  EXPECT_EQ(store.stats().corrupt, 0u);
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh.lookup({1, 2}), smt::CheckResult::Unsat);
+  EXPECT_EQ(fresh.lookup({3, 4}), smt::CheckResult::Sat);
+  EXPECT_FALSE(fresh.lookup({5, 6}).has_value());
+  store.close();
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(CacheStoreTest, ReplayedEntriesAreNotReJournaled) {
+  const std::string path = tempPath("store.pqc");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  {
+    smt::QueryCache cache;
+    smt::PersistentQueryStore store;
+    ASSERT_TRUE(store.open(path, cache));
+    cache.insert({7, 8}, smt::CheckResult::Unsat);
+    store.flush();
+    store.close();
+  }
+  {
+    // Reopening replays the entry; the file must not grow on close.
+    smt::QueryCache cache;
+    smt::PersistentQueryStore store;
+    ASSERT_TRUE(store.open(path, cache));
+    EXPECT_EQ(store.stats().appended, 0u);
+    // Re-inserting a replayed entry is a refresh, not a new record.
+    cache.insert({7, 8}, smt::CheckResult::Unsat);
+    store.flush();
+    EXPECT_EQ(store.stats().appended, 0u);
+    store.close();
+  }
+  EXPECT_EQ(fileLines(path).size(), 1u);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(CacheStoreTest, TornTailAndCorruptCrcDegradeToMiss) {
+  const std::string path = tempPath("store.pqc");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  {
+    smt::QueryCache cache;
+    smt::PersistentQueryStore store;
+    ASSERT_TRUE(store.open(path, cache));
+    cache.insert({1, 2}, smt::CheckResult::Unsat);
+    cache.insert({3, 4}, smt::CheckResult::Sat);
+    store.flush();
+    store.close();
+  }
+  std::vector<std::string> lines = fileLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  // Flip one payload byte of the second record (CRC now mismatches) and
+  // simulate a crash-torn tail: a record cut off mid-CRC, no newline.
+  lines[1][lines[1].size() - 1] ^= 1;
+  lines.push_back(lines[0].substr(0, 10));
+  writeLines(path, lines, /*finalNewline=*/false);
+
+  smt::QueryCache fresh;
+  smt::PersistentQueryStore store;
+  ASSERT_TRUE(store.open(path, fresh));
+  EXPECT_EQ(store.stats().loaded, 1u);
+  EXPECT_EQ(store.stats().corrupt, 2u);
+  EXPECT_EQ(fresh.lookup({1, 2}), smt::CheckResult::Unsat);  // survivor
+  EXPECT_FALSE(fresh.lookup({3, 4}).has_value());            // miss, not lie
+  store.close();
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(CacheStoreTest, GarbageFileLoadsNothingButStaysUsable) {
+  const std::string path = tempPath("store.pqc");
+  writeLines(path, {"this is not a cache", "pqc1 nothex garbage",
+                    "pqc1 0123456789abcdef wrong-crc-payload"});
+  smt::QueryCache cache;
+  smt::PersistentQueryStore store;
+  ASSERT_TRUE(store.open(path, cache));
+  EXPECT_EQ(store.stats().loaded, 0u);
+  EXPECT_EQ(store.stats().corrupt, 3u);
+  EXPECT_EQ(cache.size(), 0u);
+  // The store still journals fresh entries after surviving the garbage.
+  cache.insert({9, 9}, smt::CheckResult::Unsat);
+  store.flush();
+  EXPECT_EQ(store.stats().appended, 1u);
+  store.close();
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(CacheStoreTest, SecondWriterFallsBackToReadOnly) {
+  const std::string path = tempPath("store.pqc");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  smt::QueryCache cacheA;
+  smt::PersistentQueryStore storeA;
+  ASSERT_TRUE(storeA.open(path, cacheA));
+  ASSERT_TRUE(storeA.stats().writable);
+  cacheA.insert({1, 1}, smt::CheckResult::Unsat);
+  storeA.flush();
+
+  // A second store on the same path loses the flock: it still replays the
+  // snapshot but degrades to read-only instead of interleaving appends.
+  smt::QueryCache cacheB;
+  smt::PersistentQueryStore storeB;
+  ASSERT_TRUE(storeB.open(path, cacheB));
+  EXPECT_FALSE(storeB.stats().writable);
+  EXPECT_EQ(cacheB.lookup({1, 1}), smt::CheckResult::Unsat);
+  cacheB.insert({2, 2}, smt::CheckResult::Sat);
+  storeB.flush();
+  EXPECT_EQ(storeB.stats().appended, 0u);
+  EXPECT_EQ(storeB.stats().dropped, 1u);
+  storeB.close();
+  storeA.close();
+
+  // With the first writer gone the lock is free again.
+  smt::QueryCache cacheC;
+  smt::PersistentQueryStore storeC;
+  ASSERT_TRUE(storeC.open(path, cacheC));
+  EXPECT_TRUE(storeC.stats().writable);
+  storeC.close();
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// ---- ServeProtocolTest -----------------------------------------------------
+
+TEST(ServeProtocolTest, EncodeParseRoundTrip) {
+  serve::Request req;
+  req.op = serve::Request::Op::Check;
+  req.id = "r42";
+  req.source = "void k() { int x;\n x = 1; }\n \"quoted\" \\ text";
+  req.kind = "races";
+  req.kernel = "k";
+  req.deadlineMs = 1234;
+  req.options = miniOpts();
+  req.options.prefilter = false;
+
+  serve::Request parsed;
+  std::string err;
+  ASSERT_TRUE(serve::parseRequest(serve::encodeRequest(req), CheckOptions{},
+                                  &parsed, &err))
+      << err;
+  EXPECT_EQ(parsed.id, "r42");
+  EXPECT_EQ(parsed.source, req.source);
+  EXPECT_EQ(parsed.kind, "races");
+  EXPECT_EQ(parsed.kernel, "k");
+  EXPECT_EQ(parsed.deadlineMs, 1234u);
+  EXPECT_EQ(parsed.options.width, 8u);
+  EXPECT_EQ(parsed.options.backend, smt::Backend::Mini);
+  EXPECT_FALSE(parsed.options.prefilter);
+}
+
+TEST(ServeProtocolTest, MalformedLinesAreRejectedWithId) {
+  serve::Request out;
+  std::string err;
+  EXPECT_FALSE(serve::parseRequest("not json at all", CheckOptions{}, &out,
+                                   &err));
+  EXPECT_FALSE(serve::parseRequest("{\"op\":\"frobnicate\",\"id\":\"x\"}",
+                                   CheckOptions{}, &out, &err));
+  EXPECT_EQ(out.id, "x");  // id surfaces so the error event can correlate
+  // A kind that needs a kernel, without one.
+  EXPECT_FALSE(serve::parseRequest(
+      "{\"op\":\"check\",\"id\":\"y\",\"source\":\"s\",\"kind\":\"races\"}",
+      CheckOptions{}, &out, &err));
+}
+
+TEST(ServeProtocolTest, CanonicalStringIgnoresTimeBudgetsOnly) {
+  CheckRequest a;
+  a.kind = CheckKind::Races;
+  a.kernel = "k";
+  a.options = miniOpts();
+
+  CheckRequest b = a;
+  b.options.solverTimeoutMs = 1;  // budgets must not split the memo key
+  b.deadlineMs = 77;
+  EXPECT_EQ(serve::canonicalCheckString("src", a),
+            serve::canonicalCheckString("src", b));
+
+  CheckRequest c = a;
+  c.options.width = 16;  // semantics-affecting: must split it
+  EXPECT_NE(serve::canonicalCheckString("src", a),
+            serve::canonicalCheckString("src", c));
+  EXPECT_NE(serve::canonicalCheckString("src", a),
+            serve::canonicalCheckString("src2", a));
+}
+
+// ---- ServeTest -------------------------------------------------------------
+
+/// Starts a daemon on a per-test Unix socket, with or without a cache dir.
+struct TestServer {
+  serve::ServeOptions opts;
+  std::unique_ptr<serve::Server> server;
+  std::string socketPath;
+
+  explicit TestServer(size_t queueCapacity = 256,
+                      const std::string& cacheDir = "") {
+    socketPath = tempPath("sock");
+    std::remove(socketPath.c_str());
+    opts.socketPath = socketPath;
+    opts.jobs = 2;
+    opts.queueCapacity = queueCapacity;
+    opts.cacheDir = cacheDir;
+    opts.defaults = miniOpts();
+    server = std::make_unique<serve::Server>(opts);
+    std::string err;
+    if (!server->start(&err)) ADD_FAILURE() << "server start: " << err;
+  }
+
+  ~TestServer() {
+    if (server) server->stop();
+    std::remove(socketPath.c_str());
+  }
+
+  serve::Client connect() {
+    serve::Client client;
+    std::string err;
+    EXPECT_TRUE(client.connectUnix(socketPath, &err)) << err;
+    return client;
+  }
+};
+
+serve::Request checkAll(const std::string& source, const std::string& id) {
+  serve::Request req;
+  req.id = id;
+  req.kind = "all";
+  req.source = source;
+  req.options = miniOpts();
+  return req;
+}
+
+TEST(ServeTest, PingPong) {
+  TestServer ts;
+  serve::Client client = ts.connect();
+  serve::Request req;
+  req.op = serve::Request::Op::Ping;
+  req.id = "p1";
+  const serve::SubmitOutcome out = serve::submit(client, req);
+  EXPECT_EQ(out.terminal, "pong");
+}
+
+TEST(ServeTest, MalformedLineYieldsErrorEvent) {
+  TestServer ts;
+  serve::Client client = ts.connect();
+  ASSERT_TRUE(client.sendLine("this is not json"));
+  const std::optional<std::string> line = client.readLine();
+  ASSERT_TRUE(line.has_value());
+  serve::jsonp::Value ev;
+  std::string err;
+  ASSERT_TRUE(serve::jsonp::parse(*line, &ev, &err));
+  EXPECT_EQ(ev.getString("event"), "error");
+}
+
+TEST(ServeTest, CheckMatchesDirectSessionRun) {
+  const std::string source =
+      kernels::combinedSource({"vecAdd", "racyHistogram"}, 8);
+  TestServer ts;
+  serve::Client client = ts.connect();
+  const serve::SubmitOutcome out =
+      serve::submit(client, checkAll(source, "eq"));
+  ASSERT_EQ(out.terminal, "done");
+  ASSERT_EQ(out.results.size(), 6u);  // 2 kernels x races/asserts/postcond
+
+  // Ground truth: the same checks through VerificationSession directly.
+  check::VerificationSession session(source);
+  for (const auto& [cached, result] : out.results) {
+    CheckRequest req;
+    const std::string kind = result.getString("kind");
+    if (kind == "races") req.kind = CheckKind::Races;
+    else if (kind == "asserts") req.kind = CheckKind::Asserts;
+    else req.kind = CheckKind::Postconditions;
+    req.kernel = result.getString("kernel");
+    req.options = miniOpts();
+    const check::CheckResult direct = session.run(req);
+    const serve::jsonp::Value* report = result.find("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_EQ(report->getString("outcome"),
+              check::toString(direct.report.outcome))
+        << result.getString("kind") << "(" << req.kernel << ")";
+  }
+}
+
+TEST(ServeTest, WarmResubmissionHitsResultMemo) {
+  const std::string source =
+      kernels::combinedSource({"vecAdd", "racyHistogram"}, 8);
+  TestServer ts;
+  serve::Client client = ts.connect();
+  const serve::SubmitOutcome cold =
+      serve::submit(client, checkAll(source, "c1"));
+  ASSERT_EQ(cold.terminal, "done");
+  EXPECT_EQ(cold.memoHits, 0u);
+
+  const serve::SubmitOutcome warm =
+      serve::submit(client, checkAll(source, "c2"));
+  ASSERT_EQ(warm.terminal, "done");
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  // Every check that settled cold is answered from the memo warm.
+  size_t settled = 0;
+  for (const auto& [cached, result] : cold.results) {
+    const serve::jsonp::Value* report = result.find("report");
+    const std::string outcome = report ? report->getString("outcome") : "";
+    if (outcome != "unknown" && outcome != "unsupported") ++settled;
+  }
+  EXPECT_EQ(warm.memoHits, settled);
+  EXPECT_GT(settled, 0u);
+  // Warm verdicts match cold verdicts check-for-check.
+  const serve::ServeStats stats = ts.server->stats();
+  EXPECT_GE(stats.sessionHits, 1u);  // re-submission reused the parse
+}
+
+TEST(ServeTest, PersistentCacheSurvivesRestart) {
+  const std::string source = kernels::combinedSource({"vecAdd"}, 8);
+  const std::string cacheDir = tempPath("cache");
+  size_t settled = 0;
+  {
+    TestServer ts(256, cacheDir);
+    serve::Client client = ts.connect();
+    const serve::SubmitOutcome cold =
+        serve::submit(client, checkAll(source, "c1"));
+    ASSERT_EQ(cold.terminal, "done");
+    for (const auto& [cached, result] : cold.results) {
+      const serve::jsonp::Value* report = result.find("report");
+      const std::string outcome = report ? report->getString("outcome") : "";
+      if (outcome != "unknown" && outcome != "unsupported") ++settled;
+    }
+    ASSERT_GT(settled, 0u);
+  }
+  {
+    // A brand-new daemon on the same cache dir answers from disk.
+    TestServer ts(256, cacheDir);
+    serve::Client client = ts.connect();
+    const serve::SubmitOutcome disk =
+        serve::submit(client, checkAll(source, "c2"));
+    ASSERT_EQ(disk.terminal, "done");
+    EXPECT_EQ(disk.memoHits, settled);
+    const serve::ServeStats stats = ts.server->stats();
+    EXPECT_GT(stats.memo.loaded, 0u);
+    EXPECT_EQ(stats.memo.corrupt, 0u);
+  }
+}
+
+TEST(ServeTest, AdmissionControlShedsWhenQueueFull) {
+  // Zero queue capacity: nothing can be admitted, every fresh check sheds.
+  const std::string source = kernels::combinedSource({"vecAdd"}, 8);
+  TestServer ts(/*queueCapacity=*/0);
+  serve::Client client = ts.connect();
+  const serve::SubmitOutcome out =
+      serve::submit(client, checkAll(source, "o1"));
+  EXPECT_EQ(out.terminal, "overloaded");
+  ASSERT_TRUE(out.done.find("shed") != nullptr);
+  EXPECT_EQ(out.done.getU64("shed", 0), 3u);
+  const serve::ServeStats stats = ts.server->stats();
+  EXPECT_EQ(stats.shedChecks, 3u);
+}
+
+TEST(ServeTest, ShutdownOpUnblocksWait) {
+  TestServer ts;
+  serve::Client client = ts.connect();
+  serve::Request req;
+  req.op = serve::Request::Op::Shutdown;
+  req.id = "q";
+  const serve::SubmitOutcome out = serve::submit(client, req);
+  EXPECT_EQ(out.terminal, "bye");
+  EXPECT_TRUE(ts.server->waitFor(5000));
+}
+
+}  // namespace
+}  // namespace pugpara

@@ -1,5 +1,6 @@
 // pugpara — command-line driver for the PUGpara checkers.
 //
+// Batch mode (the default when the first argument is a file):
 //   pugpara FILE [--list] [--dump]
 //   pugpara FILE --postcond K | --asserts K | --races K | --perf K
 //   pugpara FILE --equiv A B
@@ -27,8 +28,22 @@
 //                 --deadline MS per-check wall-clock budget (overruns -> unknown)
 //                 --cache FILE  persistent solver-query cache (loaded+saved)
 //
+// Daemon mode:
+//   pugpara serve [--socket PATH] [--port N] [--jobs N] [--queue N]
+//                 [--cache-dir DIR] [--cache-cap N] [--deadline MS]
+//                 [--method M] [--width N] [--backend B] [--timeout MS]
+//                 [--no-prefilter] [--portfolio] [--mini-portfolio N]
+//   pugpara submit (--socket PATH | --host H --port N) FILE
+//                 [--all] [--races K|--asserts K|--postcond K|--perf K|
+//                  --equiv A B] [--method M] [--width N] [--backend B]
+//                 [--timeout MS] [--deadline MS] [--no-prefilter]
+//                 [--no-replay] [--id ID] [--json]
+//   pugpara submit (--socket ...|--host/--port) --ping|--stats|--shutdown
+//   pugpara corpus [--width N] [--list]      (dump the built-in corpus)
+//
 // Exit code: 0 verified / no bug found, 1 bug found, 2 unknown, 3 usage or
-// front-end error.
+// front-end error (and, for submit, transport/overload failures).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,7 +55,10 @@
 
 #include "check/session.h"
 #include "engine/engine.h"
+#include "kernels/corpus.h"
 #include "lang/ast_printer.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "smt/mini/stats.h"
 
 namespace {
@@ -58,7 +76,17 @@ void usage() {
                "       [--no-lbd] [--no-chrono] [--no-inprocess] "
                "[--no-rewrite] [--mini-seed N]\n"
                "       [--jobs N] [--portfolio] [--mini-portfolio N] [--json] "
-               "[--deadline MS] [--cache FILE]\n");
+               "[--deadline MS] [--cache FILE]\n"
+               "   or: pugpara serve [--socket PATH] [--port N] [--jobs N] "
+               "[--queue N] [--cache-dir DIR]\n"
+               "       [--cache-cap N] [--deadline MS] [--method M] "
+               "[--width N] [--backend B]\n"
+               "       [--timeout MS] [--no-prefilter] [--portfolio] "
+               "[--mini-portfolio N]\n"
+               "   or: pugpara submit (--socket PATH|--host H --port N) "
+               "[FILE] [check flags] [--json]\n"
+               "       [--ping|--stats|--shutdown]\n"
+               "   or: pugpara corpus [--width N] [--list]\n");
 }
 
 int outcomeCode(const check::Report& r) {
@@ -73,13 +101,362 @@ int outcomeCode(const check::Report& r) {
   }
 }
 
-}  // namespace
+// Shared argv helpers; `i` is the caller's loop index.
+std::string argNext(int argc, char** argv, int& i, const char* what) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "pugpara: %s expects an argument\n", what);
+    std::exit(3);
+  }
+  return argv[++i];
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
+uint64_t argNextNum(int argc, char** argv, int& i, const char* what) {
+  const std::string v = argNext(argc, argv, i, what);
+  try {
+    size_t pos = 0;
+    const uint64_t n = std::stoull(v, &pos);
+    if (pos == v.size()) return n;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "pugpara: %s expects a number, got '%s'\n", what,
+               v.c_str());
+  std::exit(3);
+}
+
+bool parseMethodFlag(const std::string& m, check::CheckOptions* opts) {
+  if (m == "param") opts->method = check::Method::Parameterized;
+  else if (m == "bughunt") opts->method = check::Method::ParameterizedBugHunt;
+  else if (m == "nonparam") opts->method = check::Method::NonParameterized;
+  else if (m == "auto") opts->method = check::Method::Auto;
+  else return false;
+  return true;
+}
+
+bool parseBackendFlag(const std::string& b, check::CheckOptions* opts) {
+  if (b == "z3") opts->backend = smt::Backend::Z3;
+  else if (b == "mini") opts->backend = smt::Backend::Mini;
+  else return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// pugpara serve
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_signal = 0;
+void onSignal(int sig) { g_signal = sig; }
+
+int serveMain(int argc, char** argv) {
+  serve::ServeOptions sopts;
+  sopts.defaults.method = check::Method::Parameterized;
+  sopts.defaults.solverTimeoutMs = 60000;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      sopts.socketPath = argNext(argc, argv, i, "--socket");
+    } else if (arg == "--port") {
+      sopts.tcpPort = static_cast<uint16_t>(argNextNum(argc, argv, i, "--port"));
+    } else if (arg == "--jobs") {
+      sopts.jobs = static_cast<unsigned>(argNextNum(argc, argv, i, "--jobs"));
+    } else if (arg == "--queue") {
+      sopts.queueCapacity = argNextNum(argc, argv, i, "--queue");
+    } else if (arg == "--cache-dir") {
+      sopts.cacheDir = argNext(argc, argv, i, "--cache-dir");
+    } else if (arg == "--cache-cap") {
+      sopts.queryCacheCapacity = argNextNum(argc, argv, i, "--cache-cap");
+    } else if (arg == "--deadline") {
+      sopts.defaultDeadlineMs =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--deadline"));
+    } else if (arg == "--method") {
+      if (!parseMethodFlag(argNext(argc, argv, i, "--method"),
+                           &sopts.defaults)) {
+        usage();
+        return 3;
+      }
+    } else if (arg == "--width") {
+      sopts.defaults.width =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--width"));
+    } else if (arg == "--backend") {
+      if (!parseBackendFlag(argNext(argc, argv, i, "--backend"),
+                            &sopts.defaults)) {
+        usage();
+        return 3;
+      }
+    } else if (arg == "--timeout") {
+      sopts.defaults.solverTimeoutMs =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--timeout"));
+    } else if (arg == "--no-prefilter") {
+      sopts.defaults.prefilter = false;
+    } else if (arg == "--portfolio") {
+      sopts.portfolio = true;
+    } else if (arg == "--mini-portfolio") {
+      sopts.miniPortfolio =
+          static_cast<unsigned>(argNextNum(argc, argv, i, "--mini-portfolio"));
+    } else {
+      std::fprintf(stderr, "pugpara serve: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 3;
+    }
+  }
+  if (sopts.socketPath.empty() && sopts.tcpPort == 0) {
+    std::fprintf(stderr,
+                 "pugpara serve: need --socket PATH and/or --port N\n");
     return 3;
   }
+  if (sopts.portfolio && sopts.miniPortfolio > 1) {
+    std::fprintf(stderr,
+                 "pugpara serve: --portfolio and --mini-portfolio are "
+                 "mutually exclusive\n");
+    return 3;
+  }
+
+  serve::Server server(sopts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "pugpara serve: %s\n", err.c_str());
+    return 3;
+  }
+  if (!sopts.socketPath.empty())
+    std::fprintf(stderr, "pugpara serve: listening on unix:%s\n",
+                 sopts.socketPath.c_str());
+  if (server.boundTcpPort() != 0)
+    std::fprintf(stderr, "pugpara serve: listening on tcp:127.0.0.1:%u\n",
+                 server.boundTcpPort());
+  std::fprintf(stderr,
+               "pugpara serve: cache-dir=%s queue=%zu deadline=%ums\n",
+               sopts.cacheDir.empty() ? "(memory)" : sopts.cacheDir.c_str(),
+               sopts.queueCapacity, sopts.defaultDeadlineMs);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  // Signal handlers cannot notify the server's condvar, so poll the flag.
+  while (!server.waitFor(200)) {
+    if (g_signal != 0) break;
+  }
+  server.stop();
+  const serve::ServeStats st = server.stats();
+  std::fprintf(stderr,
+               "pugpara serve: exiting: %llu connection(s), %llu request(s), "
+               "%llu check(s) run, %llu memo hit(s), %llu shed\n",
+               static_cast<unsigned long long>(st.connections),
+               static_cast<unsigned long long>(st.requests),
+               static_cast<unsigned long long>(st.checksRun),
+               static_cast<unsigned long long>(st.memoHits),
+               static_cast<unsigned long long>(st.shedChecks));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// pugpara submit
+// ---------------------------------------------------------------------------
+
+int submitMain(int argc, char** argv) {
+  std::string socketPath, host = "127.0.0.1", file, id = "cli";
+  uint16_t port = 0;
+  bool jsonOut = false;
+  serve::Request req;
+  req.kind = "all";
+  req.options.method = check::Method::Parameterized;
+  req.options.solverTimeoutMs = 60000;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      socketPath = argNext(argc, argv, i, "--socket");
+    } else if (arg == "--host") {
+      host = argNext(argc, argv, i, "--host");
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(argNextNum(argc, argv, i, "--port"));
+    } else if (arg == "--json") {
+      jsonOut = true;
+    } else if (arg == "--id") {
+      id = argNext(argc, argv, i, "--id");
+    } else if (arg == "--ping") {
+      req.op = serve::Request::Op::Ping;
+    } else if (arg == "--stats") {
+      req.op = serve::Request::Op::Stats;
+    } else if (arg == "--shutdown") {
+      req.op = serve::Request::Op::Shutdown;
+    } else if (arg == "--all") {
+      req.kind = "all";
+    } else if (arg == "--races") {
+      req.kind = "races";
+      req.kernel = argNext(argc, argv, i, "--races");
+    } else if (arg == "--asserts") {
+      req.kind = "asserts";
+      req.kernel = argNext(argc, argv, i, "--asserts");
+    } else if (arg == "--postcond") {
+      req.kind = "postcond";
+      req.kernel = argNext(argc, argv, i, "--postcond");
+    } else if (arg == "--perf") {
+      req.kind = "perf";
+      req.kernel = argNext(argc, argv, i, "--perf");
+    } else if (arg == "--equiv") {
+      req.kind = "equiv";
+      req.kernel = argNext(argc, argv, i, "--equiv");
+      req.kernel2 = argNext(argc, argv, i, "--equiv");
+    } else if (arg == "--method") {
+      if (!parseMethodFlag(argNext(argc, argv, i, "--method"), &req.options)) {
+        usage();
+        return 3;
+      }
+    } else if (arg == "--width") {
+      req.options.width =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--width"));
+    } else if (arg == "--backend") {
+      if (!parseBackendFlag(argNext(argc, argv, i, "--backend"),
+                            &req.options)) {
+        usage();
+        return 3;
+      }
+    } else if (arg == "--timeout") {
+      req.options.solverTimeoutMs =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--timeout"));
+    } else if (arg == "--deadline") {
+      req.deadlineMs =
+          static_cast<uint32_t>(argNextNum(argc, argv, i, "--deadline"));
+    } else if (arg == "--no-prefilter") {
+      req.options.prefilter = false;
+    } else if (arg == "--no-replay") {
+      req.options.replayCounterexamples = false;
+    } else if (!arg.empty() && arg[0] != '-' && file.empty()) {
+      file = arg;
+    } else {
+      std::fprintf(stderr, "pugpara submit: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 3;
+    }
+  }
+
+  if (socketPath.empty() && port == 0) {
+    std::fprintf(stderr,
+                 "pugpara submit: need --socket PATH or --host/--port\n");
+    return 3;
+  }
+  req.id = id;
+  if (req.op == serve::Request::Op::Check) {
+    if (file.empty()) {
+      std::fprintf(stderr, "pugpara submit: need a FILE to check\n");
+      return 3;
+    }
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "pugpara submit: cannot open '%s'\n", file.c_str());
+      return 3;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    req.source = buffer.str();
+  }
+
+  serve::Client client;
+  std::string err;
+  const bool connected = socketPath.empty()
+                             ? client.connectTcp(host, port, &err)
+                             : client.connectUnix(socketPath, &err);
+  if (!connected) {
+    std::fprintf(stderr, "pugpara submit: %s\n", err.c_str());
+    return 3;
+  }
+
+  auto printEvent = [&](const serve::jsonp::Value& ev, const std::string& raw) {
+    if (jsonOut) {
+      std::printf("%s\n", raw.c_str());
+      return;
+    }
+    const std::string event = ev.getString("event");
+    if (event == "result") {
+      const serve::jsonp::Value* result = ev.find("result");
+      const serve::jsonp::Value* report = result ? result->find("report") : nullptr;
+      if (!result || !report) return;
+      const serve::jsonp::Value* solve = report->find("solveSeconds");
+      const std::string detail = report->getString("detail");
+      std::printf("%s(%s): %s (%s, %.3gs solve)%s%s%s\n",
+                  result->getString("kind", "?").c_str(),
+                  result->getString("kernel", "?").c_str(),
+                  report->getString("outcome", "unknown").c_str(),
+                  report->getString("method", "?").c_str(),
+                  solve && solve->kind == serve::jsonp::Value::Kind::Number
+                      ? solve->number
+                      : 0.0,
+                  detail.empty() ? "" : ": ", detail.c_str(),
+                  ev.getBool("cached", false) ? "  [cached]" : "");
+    } else if (event == "done") {
+      std::fprintf(stderr,
+                   "pugpara submit: done: %llu check(s), %llu memo hit(s), "
+                   "%.3f ms\n",
+                   static_cast<unsigned long long>(ev.getU64("checks", 0)),
+                   static_cast<unsigned long long>(ev.getU64("memoHits", 0)),
+                   ev.find("elapsedMs") ? ev.find("elapsedMs")->number : 0.0);
+    } else if (event == "overloaded") {
+      std::fprintf(stderr,
+                   "pugpara submit: server overloaded (%llu shed)\n",
+                   static_cast<unsigned long long>(ev.getU64("shed", 0)));
+    } else if (event == "error") {
+      std::fprintf(stderr, "pugpara submit: server error: %s\n",
+                   ev.getString("error").c_str());
+    } else if (event == "pong") {
+      std::printf("pong\n");
+    } else if (event == "stats") {
+      std::printf("%s\n", raw.c_str());
+    } else if (event == "bye") {
+      std::printf("bye\n");
+    }
+  };
+
+  const serve::SubmitOutcome out = serve::submit(client, req, printEvent);
+  if (req.op != serve::Request::Op::Check) {
+    const char* want = req.op == serve::Request::Op::Ping     ? "pong"
+                       : req.op == serve::Request::Op::Stats  ? "stats"
+                                                              : "bye";
+    if (out.terminal == want) return 0;
+    std::fprintf(stderr, "pugpara submit: %s\n",
+                 out.error.empty() ? "unexpected terminal event"
+                                   : out.error.c_str());
+    return 3;
+  }
+  if (out.terminal != "done" && !jsonOut && !out.error.empty())
+    std::fprintf(stderr, "pugpara submit: %s\n", out.error.c_str());
+  return out.exitCode();
+}
+
+// ---------------------------------------------------------------------------
+// pugpara corpus
+// ---------------------------------------------------------------------------
+
+int corpusMain(int argc, char** argv) {
+  uint32_t width = 16;
+  bool list = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      width = static_cast<uint32_t>(argNextNum(argc, argv, i, "--width"));
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr, "pugpara corpus: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 3;
+    }
+  }
+  if (list) {
+    for (const auto& e : kernels::corpus())
+      std::printf("%-24s %-12s %s\n", e.name.c_str(), e.family.c_str(),
+                  e.description.c_str());
+    return 0;
+  }
+  std::vector<std::string> names;
+  for (const auto& e : kernels::corpus()) names.push_back(e.name);
+  std::printf("%s", kernels::combinedSource(names, width).c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// batch mode (the original single-shot CLI)
+// ---------------------------------------------------------------------------
+
+int batchMain(int argc, char** argv) {
   std::ifstream in(argv[1]);
   if (!in) {
     std::fprintf(stderr, "pugpara: cannot open '%s'\n", argv[1]);
@@ -105,23 +482,10 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "pugpara: %s expects an argument\n", what);
-        std::exit(3);
-      }
-      return argv[++i];
+      return argNext(argc, argv, i, what);
     };
     auto nextNum = [&](const char* what) -> uint64_t {
-      const std::string v = next(what);
-      try {
-        size_t pos = 0;
-        const uint64_t n = std::stoull(v, &pos);
-        if (pos == v.size()) return n;
-      } catch (const std::exception&) {
-      }
-      std::fprintf(stderr, "pugpara: %s expects a number, got '%s'\n", what,
-                   v.c_str());
-      std::exit(3);
+      return argNextNum(argc, argv, i, what);
     };
     if (arg == "--list") action = Action::List;
     else if (arg == "--dump") action = Action::Dump;
@@ -135,19 +499,11 @@ int main(int argc, char** argv) {
       k1 = next("--equiv");
       k2 = next("--equiv");
     } else if (arg == "--method") {
-      const std::string m = next("--method");
-      if (m == "param") opts.method = check::Method::Parameterized;
-      else if (m == "bughunt") opts.method = check::Method::ParameterizedBugHunt;
-      else if (m == "nonparam") opts.method = check::Method::NonParameterized;
-      else if (m == "auto") opts.method = check::Method::Auto;
-      else { usage(); return 3; }
+      if (!parseMethodFlag(next("--method"), &opts)) { usage(); return 3; }
     } else if (arg == "--width") {
       opts.width = static_cast<uint32_t>(nextNum("--width"));
     } else if (arg == "--backend") {
-      const std::string b = next("--backend");
-      if (b == "z3") opts.backend = smt::Backend::Z3;
-      else if (b == "mini") opts.backend = smt::Backend::Mini;
-      else { usage(); return 3; }
+      if (!parseBackendFlag(next("--backend"), &opts)) { usage(); return 3; }
     } else if (arg == "--grid") {
       const std::string g = next("--grid");
       encode::GridConfig grid;
@@ -291,6 +647,7 @@ int main(int argc, char** argv) {
           "],\"engine\":{\"jobs\":%u,\"portfolio\":%s,\"miniPortfolio\":%u,"
           "\"prefilter\":%s,"
           "\"cacheHits\":%llu,\"cacheMisses\":%llu,\"cacheInsertions\":%llu,"
+          "\"cacheEvictions\":%llu,"
           "\"tier0Discharged\":%llu,\"slicedQueries\":%llu,"
           "\"fullSmtQueries\":%llu,\"solverCalls\":%llu},",
           eopts.jobs, eopts.portfolio ? "true" : "false", eopts.miniPortfolio,
@@ -298,6 +655,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.hits),
           static_cast<unsigned long long>(cs.misses),
           static_cast<unsigned long long>(cs.insertions),
+          static_cast<unsigned long long>(cs.evictions),
           static_cast<unsigned long long>(total.tier0),
           static_cast<unsigned long long>(total.sliced),
           static_cast<unsigned long long>(total.fullSmt),
@@ -369,4 +727,22 @@ int main(int argc, char** argv) {
     return 3;
   }
   return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 3;
+  }
+  const std::string first = argv[1];
+  if (first == "serve") return serveMain(argc, argv);
+  if (first == "submit") return submitMain(argc, argv);
+  if (first == "corpus") return corpusMain(argc, argv);
+  if (first == "--help" || first == "-h") {
+    usage();
+    return 0;
+  }
+  return batchMain(argc, argv);
 }
